@@ -1,0 +1,414 @@
+"""Ablations of DIESEL's design choices (beyond the paper's figures).
+
+Each test removes or degrades one design decision and shows the claimed
+benefit disappear:
+
+* chunk size — the §4 "≥4 MB" rule: too-small chunks forfeit the write
+  batching and IOPS wins;
+* request executor — §4's sort+merge of batched small reads into
+  chunk-wise ranges;
+* master-per-node election — §4.2's p×(n−1) vs full-mesh n×(n−1);
+* chunk-wise shuffle group size — §4.3/Fig 13's "hundreds of chunks per
+  group is sufficient": with an aggressive learning rate and
+  class-sorted chunks, *too-small* groups measurably hurt accuracy,
+  which is exactly why the knob exists.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.bench.setups import (
+    add_diesel,
+    bulk_load_diesel,
+    diesel_client_with_snapshot,
+    make_testbed,
+)
+from repro.calibration import KB, MB
+from repro.core.client import DieselClient
+from repro.core.config import DieselConfig
+from repro.core.dist_cache import CacheClient, TaskCache
+from repro.dlt.sgd import SoftmaxClassifier, train_with_orders
+from repro.dlt.synthetic import SyntheticDataset
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_chunk_size_ablation(benchmark):
+    """Large chunks cut cache warm-up and metadata recovery time (§4.1.2,
+    §4.2: "the recovery time of the caching system is reduced greatly").
+
+    Same dataset packed as 64 KB vs 4 MB chunks; measures (a) task-cache
+    oneshot warm-up and (b) full metadata rebuild after losing the KV
+    store.  Both are dominated by per-chunk fixed costs, so small chunks
+    lose badly.
+    """
+
+    def run():
+        from repro.core import recovery
+
+        out = {}
+        files = {f"/a/f{i:04d}": b"q" * (16 * KB) for i in range(2000)}
+        for chunk_size in (64 * KB, 4 * MB):
+            tb = make_testbed(n_compute=2)
+            add_diesel(tb)
+            bulk_load_diesel(tb, "ds", files, chunk_size=chunk_size)
+            n_chunks = len(tb.store.list_keys())
+            clients = [
+                diesel_client_with_snapshot(
+                    tb, "ds", tb.compute_nodes[r % 2], f"c{r}", rank=r
+                )
+                for r in range(4)
+            ]
+            cache = TaskCache(
+                tb.env, tb.fabric, tb.diesel, "ds",
+                [c.as_cache_client() for c in clients],
+            )
+            t0 = tb.env.now
+            tb.run(cache.register())
+            tb.run(cache.wait_warm())
+            warm_s = tb.env.now - t0
+
+            tb.kv.lose_all()
+            t0 = tb.env.now
+            tb.run(recovery.rebuild_dataset(tb.diesel, "ds"))
+            rebuild_s = tb.env.now - t0
+            out[chunk_size] = (n_chunks, warm_s, rebuild_s)
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    (n_small, warm_small, rec_small) = out[64 * KB]
+    (n_big, warm_big, rec_big) = out[4 * MB]
+    print(f"\n64KB chunks: n={n_small}, warm={warm_small * 1e3:.1f}ms, "
+          f"rebuild={rec_small * 1e3:.1f}ms")
+    print(f"4MB  chunks: n={n_big}, warm={warm_big * 1e3:.1f}ms, "
+          f"rebuild={rec_big * 1e3:.1f}ms")
+    assert n_small > 50 * n_big
+    assert warm_big < warm_small / 2
+    assert rec_big < rec_small / 3
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_request_executor_merge_ablation(benchmark):
+    """Batched sort+merge reads vs per-file reads (§4 request executor)."""
+
+    def run():
+        tb = make_testbed(n_compute=1)
+        add_diesel(tb)
+        files = {f"/d/f{i:04d}": b"y" * 4096 for i in range(256)}
+        bulk_load_diesel(tb, "ds", files, chunk_size=4 * MB)
+        node = tb.compute_nodes[0]
+        paths = list(files)
+
+        def batched():
+            t0 = tb.env.now
+            yield from tb.diesel.call(node, "read_files", "ds", paths)
+            return tb.env.now - t0
+
+        def individual():
+            t0 = tb.env.now
+            for p in paths:
+                yield from tb.diesel.call(node, "get_file", "ds", p)
+            return tb.env.now - t0
+
+        return tb.run(batched()), tb.run(individual())
+
+    t_batched, t_individual = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n256-file batch: merged={t_batched * 1e3:.2f}ms, "
+          f"per-file={t_individual * 1e3:.2f}ms "
+          f"({t_individual / t_batched:.1f}x slower)")
+    assert t_batched < t_individual / 5
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_master_election_connection_ablation(benchmark):
+    """p×(n−1) with masters vs n×(n−1) full mesh (§4.2, Fig 7)."""
+
+    def run():
+        tb = make_testbed(n_compute=8)
+        add_diesel(tb)
+        files = {f"/c/f{i:03d}": b"z" * 2048 for i in range(64)}
+        bulk_load_diesel(tb, "ds", files, chunk_size=16 * KB)
+        clients = [
+            CacheClient(f"cc{r}", tb.compute_nodes[r % 8], r)
+            for r in range(8 * 8)  # 8 nodes x 8 I/O procs
+        ]
+        cache = TaskCache(tb.env, tb.fabric, tb.diesel, "ds", clients)
+        tb.run(cache.register())
+        return cache
+
+    cache = benchmark.pedantic(run, rounds=1, iterations=1)
+    p, n = 8, 64
+    measured = cache.connection_count()
+    full_mesh = n * (n - 1)
+    print(f"\nconnections: masters={measured} vs full mesh={full_mesh} "
+          f"({full_mesh / measured:.1f}x reduction)")
+    assert measured == p * (n - 1)
+    assert full_mesh / measured == pytest.approx(n / p, rel=0.01)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_shuffle_group_size_accuracy_ablation(benchmark):
+    """Too-small groups + hot lr hurt accuracy; adequate groups recover it.
+
+    The inverse of Fig 13: demonstrates *why* the group size knob exists.
+    Chunks are class-sorted; with lr=1.0 the end-of-epoch recency bias
+    is clear for g=1 and mostly recovered by g=32.  (At the Fig 13
+    operating point, lr=0.1, all group sizes match full shuffle.)
+    """
+
+    def run():
+        data = SyntheticDataset.make(n_samples=4000, n_features=32,
+                                     n_classes=10, class_sep=2.2,
+                                     noise=1.2, seed=11)
+        train, test = data.split(0.25, seed=11)
+        spc = 25
+        order_by_class = np.argsort(train.y, kind="stable")
+        chunks = {}
+        for pos, si in enumerate(order_by_class):
+            chunks.setdefault(pos // spc, []).append(int(si))
+
+        def cw_orders(g, epochs=30):
+            out = []
+            for e in range(epochs):
+                rng = random.Random(1000 + e)
+                cids = list(chunks)
+                rng.shuffle(cids)
+                order = []
+                for lo in range(0, len(cids), g):
+                    pooled = []
+                    for c in cids[lo:lo + g]:
+                        pooled.extend(chunks[c])
+                    rng.shuffle(pooled)
+                    order.extend(pooled)
+                out.append(np.asarray(order))
+            return out
+
+        def final_acc(orders):
+            history = train_with_orders(
+                lambda: SoftmaxClassifier(32, 10, lr=1.0, seed=11),
+                train.X, train.y, test.X, test.y, orders, batch_size=32,
+            )
+            return float(np.mean([h["top1"] for h in history[-5:]]))
+
+        rng = np.random.default_rng(11)
+        full = final_acc([rng.permutation(len(train)) for _ in range(30)])
+        return {"full": full, 1: final_acc(cw_orders(1)),
+                32: final_acc(cw_orders(32))}
+
+    acc = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\ntop-1 @lr=1.0: full={acc['full']:.3f}, "
+          f"g=1: {acc[1]:.3f}, g=32: {acc[32]:.3f}")
+    # g=1 degrades clearly; larger groups recover most of the gap.
+    assert acc["full"] - acc[1] > 0.02
+    assert acc[32] - acc[1] > 0.008
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_server_cache_tier_ablation(benchmark):
+    """HDD-backed storage with vs without the SSD server cache (Fig 4).
+
+    On HDD-resident datasets, the first epoch faults chunks through the
+    slow tier; with the SSD cache enabled, later epochs are served from
+    the fast tier, recovering most of the NVMe-resident performance.
+    """
+
+    def run():
+        times = {}
+        for cached in (False, True):
+            tb = make_testbed(n_compute=1)
+            add_diesel(tb, tiered=True)
+            tb.store.promote_on_miss = cached
+            files = {f"/s/f{i:03d}": b"h" * (64 * KB) for i in range(64)}
+            bulk_load_diesel(tb, "ds", files, chunk_size=1 * MB)
+            node = tb.compute_nodes[0]
+
+            def epoch():
+                t0 = tb.env.now
+                for path in files:
+                    yield from tb.diesel.call(node, "get_file", "ds", path)
+                return tb.env.now - t0
+
+            cold = tb.run(epoch())
+            warm = tb.run(epoch())
+            times[cached] = (cold, warm)
+        return times
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    cold_off, warm_off = times[False]
+    cold_on, warm_on = times[True]
+    print(f"\nserver cache off: epoch1={cold_off * 1e3:.1f}ms, "
+          f"epoch2={warm_off * 1e3:.1f}ms")
+    print(f"server cache on:  epoch1={cold_on * 1e3:.1f}ms, "
+          f"epoch2={warm_on * 1e3:.1f}ms")
+    # Without the tier, every epoch pays HDD; with it, epoch 2 is fast.
+    assert warm_off == pytest.approx(cold_off, rel=0.2)
+    assert warm_on < warm_off / 3
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_lustre_dne_ablation(benchmark):
+    """§2.2's DNE discussion, quantified.
+
+    DNE1 pins each directory to one MDT: a hot directory saturates that
+    single server no matter how many MDTs exist.  DNE2 stripes entries
+    over all MDTs, fixing the hot-directory case — but readdir must then
+    visit every stripe.  Both drawbacks the paper calls out emerge here.
+    """
+    from repro.baselines.lustre import LustreFS
+    from repro.bench.setups import make_testbed
+    from repro.calibration import LustreProfile
+    from repro.cluster.devices import Device
+
+    N_FILES, N_MDTS, N_WRITERS = 240, 4, 16
+    # Low MDS cap + effectively unlimited OSS so metadata is the
+    # bottleneck under test.
+    prof = LustreProfile(mds_qps=5_000)
+
+    def run():
+        out = {}
+        for dne in ("dne1", "dne2"):
+            # Hot-directory creates: all files into one directory.
+            tb = make_testbed(n_compute=4)
+            oss = Device(tb.env, "fast-oss", 1e-7, 1e13, queue_depth=64)
+            fs = LustreFS(tb.env, tb.fabric, tb.storage_nodes[:N_MDTS],
+                          oss, profile=prof, dne=dne)
+
+            def writer(w, fs=fs, tb=tb):
+                node = tb.compute_nodes[w % 4]
+                for i in range(N_FILES // N_WRITERS):
+                    yield from fs.write_file(node, f"/hot/w{w}f{i}", b"x")
+
+            t0 = tb.env.now
+            tb.run_all(writer(w) for w in range(N_WRITERS))
+            create_rate = N_FILES / (tb.env.now - t0)
+
+            def timed_readdir(fs=fs, tb=tb):
+                t0 = tb.env.now
+                yield from fs.readdir(tb.compute_nodes[0], "/hot")
+                return tb.env.now - t0
+
+            readdir_s = tb.run(timed_readdir())
+            out[dne] = (create_rate, readdir_s)
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    (rate1, rd1), (rate2, rd2) = out["dne1"], out["dne2"]
+    print(f"\nhot-dir creates: DNE1 {rate1:,.0f}/s vs DNE2 {rate2:,.0f}/s "
+          f"({rate2 / rate1:.1f}x)")
+    print(f"readdir: DNE1 {rd1 * 1e6:.0f}us vs DNE2 {rd2 * 1e6:.0f}us "
+          f"({rd2 / rd1:.1f}x slower)")
+    # DNE2 spreads the hot directory's creates over all MDTs...
+    assert rate2 > 1.8 * rate1
+    # ...but its readdir must traverse every stripe.
+    assert rd2 > 1.8 * rd1
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_failure_containment_vs_global_cache(benchmark):
+    """The Fig 6 counterpoint: the same failure, DIESEL's task-grained
+    cache vs the global Memcached cache.
+
+    Kill one cache node mid-run.  The global cache's misses fall into the
+    op-limited shared filesystem forever (Fig 6); DIESEL falls back to
+    its own chunk store, then `recover()` re-streams the lost partition
+    in whole chunks and restores full speed.
+    """
+    import random as _random
+
+    from repro.bench.setups import (
+        add_lustre, add_memcached, bulk_load_lustre, bulk_load_memcached,
+        diesel_client_with_snapshot, make_testbed,
+    )
+
+    N_NODES, FILES, ITER_FILES, ITERS = 6, 600, 24, 30
+    payload = b"\xaa" * (16 * KB)
+    file_map = {f"/fc/f{i:04d}": payload for i in range(FILES)}
+
+    def speed(times):
+        return ITER_FILES / (sum(times) / len(times))
+
+    def run():
+        out = {}
+
+        # --- DIESEL task-grained cache ---
+        tb = make_testbed(n_compute=N_NODES)
+        add_diesel(tb)
+        bulk_load_diesel(tb, "ds", file_map, chunk_size=1 * MB)
+        clients = [
+            diesel_client_with_snapshot(tb, "ds", tb.compute_nodes[c],
+                                        f"c{c}", rank=c)
+            for c in range(N_NODES)
+        ]
+        cache = TaskCache(tb.env, tb.fabric, tb.diesel, "ds",
+                          [c.as_cache_client() for c in clients])
+        tb.run(cache.register())
+        tb.run(cache.wait_warm())
+        reader = clients[1]
+        index = reader.index
+        rng = _random.Random(0)
+        paths = list(file_map)
+
+        def diesel_phase(n_iters):
+            times = []
+            for _ in range(n_iters):
+                t0 = tb.env.now
+                for _ in range(ITER_FILES):
+                    yield from cache.read_file(
+                        reader.as_cache_client(),
+                        index.lookup(rng.choice(paths)),
+                    )
+                times.append(tb.env.now - t0)
+            return times
+
+        healthy = tb.run(diesel_phase(ITERS))
+        tb.compute_nodes[0].kill()  # one master's partition gone
+        degraded = tb.run(diesel_phase(ITERS))
+        tb.run(cache.recover())
+        recovered = tb.run(diesel_phase(ITERS))
+        out["diesel"] = (speed(healthy), speed(degraded), speed(recovered))
+
+        # --- global Memcached cache, same failure pattern ---
+        tb = make_testbed(n_compute=N_NODES + 1)
+        mc = add_memcached(tb, n_servers=N_NODES)
+        fs = add_lustre(tb)
+        bulk_load_memcached(tb, file_map)
+        bulk_load_lustre(tb, file_map)
+        node = tb.compute_nodes[N_NODES]
+        rng = _random.Random(0)
+
+        def mc_phase(n_iters):
+            times = []
+            for _ in range(n_iters):
+                t0 = tb.env.now
+                for _ in range(ITER_FILES):
+                    path = rng.choice(paths)
+                    value = yield from mc.get(node, path)
+                    if value is None:
+                        yield from fs.read_file(node, path)
+                times.append(tb.env.now - t0)
+            return times
+
+        healthy = tb.run(mc_phase(ITERS))
+        mc.kill_server(sorted(mc.servers)[0])
+        degraded = tb.run(mc_phase(ITERS))
+        # Memcached has no chunk-granular recovery; it refills file by
+        # file as misses occur — still degraded over this window.
+        later = tb.run(mc_phase(ITERS))
+        out["memcached"] = (speed(healthy), speed(degraded), speed(later))
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    d_h, d_d, d_r = out["diesel"]
+    m_h, m_d, m_l = out["memcached"]
+    print(f"\nDIESEL files/s:    healthy={d_h:,.0f} degraded={d_d:,.0f} "
+          f"recovered={d_r:,.0f}")
+    print(f"Memcached files/s: healthy={m_h:,.0f} degraded={m_d:,.0f} "
+          f"later={m_l:,.0f}")
+    # DIESEL recovers to (near-)healthy speed after chunk re-streaming.
+    assert d_r > 0.9 * d_h
+    # The global cache stays degraded (no partition re-streaming).
+    assert m_l < 0.9 * m_h
+    # And DIESEL's degraded mode (chunk-store fallback) loses less than
+    # the global cache's (shared-FS fallback) relative to healthy.
+    assert d_d / d_h > m_d / m_h

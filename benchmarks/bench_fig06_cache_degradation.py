@@ -1,0 +1,25 @@
+"""Fig 6: global cache read speed collapses under partial node failure."""
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import fig6_cache_degradation
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_cache_degradation(experiment):
+    result = experiment(fig6_cache_degradation)
+    speeds = result.column("read_speed_files_per_s")
+    hits = result.column("hit_ratio")
+    healthy = float(np.mean(speeds[5:25]))
+    one_dead = float(np.mean(speeds[45:65]))
+    two_dead = float(np.mean(speeds[85:]))
+    # Hit ratio steps down at each kill...
+    assert min(hits[:30]) > 0.999
+    assert 0.90 < float(np.mean(hits[40:65])) < 0.99
+    assert float(np.mean(hits[85:])) < float(np.mean(hits[40:65]))
+    # ...and a few percent of misses destroys a disproportionate share of
+    # the read speed (paper: ~90% loss at ~5% misses).
+    assert one_dead < 0.6 * healthy
+    assert two_dead < 0.4 * healthy
+    assert two_dead < one_dead

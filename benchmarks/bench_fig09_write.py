@@ -1,0 +1,25 @@
+"""Fig 9: small-file write throughput — DIESEL vs Memcached vs Lustre."""
+
+import pytest
+
+from repro.bench.experiments import fig9_write_throughput
+from repro.calibration import KB
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_write_throughput(experiment):
+    result = experiment(fig9_write_throughput)
+    r4k = result.one(file_size=4 * KB)
+    r128k = result.one(file_size=128 * KB)
+    # Ordering at both sizes: DIESEL > Memcached >> Lustre.
+    for row in (r4k, r128k):
+        assert row["diesel_files_per_s"] > row["memcached_files_per_s"]
+        assert row["memcached_files_per_s"] > row["lustre_files_per_s"]
+    # Magnitudes: DIESEL writes >1M 4KB files/s (paper: >2M);
+    # >100x faster than Lustre at 4KB (paper: 366x), >30x at 128KB.
+    assert r4k["diesel_files_per_s"] > 1_000_000
+    assert r4k["speedup_vs_lustre"] > 100
+    assert r128k["speedup_vs_lustre"] > 30
+    # Memcached gap widens with value size (no batching, per-byte proxy
+    # cost): paper 1.79x -> 17.3x.
+    assert r128k["speedup_vs_memcached"] > 2 * r4k["speedup_vs_memcached"]

@@ -1,0 +1,60 @@
+"""Fig 10a/10b/10c: metadata access efficiency and snapshots."""
+
+import pytest
+
+from repro.bench.experiments import (
+    fig10a_metadata_scaling,
+    fig10b_snapshot_scaling,
+    fig10c_ls_elapsed,
+)
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10a_server_scaling(experiment):
+    result = experiment(fig10a_metadata_scaling)
+
+    def qps(servers, nodes):
+        return result.one(servers=servers, client_nodes=nodes)["qps"]
+
+    # One server saturates by ~2 client nodes: 10 nodes add <15% over 2.
+    assert qps(1, 10) < 1.15 * qps(1, 2)
+    # Three servers keep scaling past where one flattened...
+    assert qps(3, 7) > 2.5 * qps(1, 10) * 0.9
+    # ...and flatten themselves by ~7 nodes.
+    assert qps(3, 10) < 1.15 * qps(3, 7)
+    # Five servers approach the Redis cluster cap (~0.97M QPS).
+    assert qps(5, 10) > 0.85e6
+    assert qps(5, 10) < 1.25e6
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10b_snapshot_linear_scaling(experiment):
+    result = experiment(fig10b_snapshot_scaling)
+    rows = result.rows
+    # Within 10% of the paper at both ends (8.83M at 1 node, 88.77M at 10).
+    assert rows[0]["qps"] == pytest.approx(8.83e6, rel=0.10)
+    assert rows[-1]["qps"] == pytest.approx(88.77e6, rel=0.10)
+    # Strictly linear: qps/node constant.
+    per_node = [r["qps"] / r["client_nodes"] for r in rows]
+    assert max(per_node) / min(per_node) < 1.01
+    # ~1300x over a Lustre MDS bound at 68k QPS.
+    assert rows[-1]["qps"] / 68_000 > 1000
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10c_ls_elapsed(experiment):
+    result = experiment(fig10c_ls_elapsed)
+    lustre = result.one(system="lustre")
+    fuse = result.one(system="diesel-fuse")
+    xfs = result.one(system="xfs")
+    # ls -R is client-bound and similar for Lustre and DIESEL-FUSE
+    # (paper: both 30-40s for 1.28M files).
+    assert 25 < lustre["ls_R_seconds"] < 50
+    assert 25 < fuse["ls_R_seconds"] < 50
+    # ls -lR blows up on Lustre (sizes live on the OSS)...
+    assert lustre["ls_lR_seconds"] > 3 * lustre["ls_R_seconds"]
+    assert lustre["ls_lR_seconds"] > 120
+    # ...but stays nearly flat for DIESEL-FUSE (O(1) snapshot lookups).
+    assert fuse["ls_lR_seconds"] < 1.6 * fuse["ls_R_seconds"]
+    # DIESEL-FUSE beats the local XFS on the stat-heavy walk too.
+    assert fuse["ls_lR_seconds"] < xfs["ls_lR_seconds"]

@@ -1,0 +1,37 @@
+"""Fig 11a/11b: task-grained distributed cache read scaling + recovery."""
+
+import pytest
+
+from repro.bench.experiments import fig11a_read_scaling, fig11b_cache_recovery
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11a_read_scaling(experiment):
+    result = experiment(fig11a_read_scaling)
+    last = result.rows[-1]
+    # Ordering at 10 nodes: API > FUSE > Memcached > Lustre (paper).
+    assert last["diesel_api_qps"] > last["diesel_fuse_qps"]
+    assert last["diesel_fuse_qps"] > last["memcached_qps"]
+    assert last["memcached_qps"] > last["lustre_qps"]
+    # Magnitudes: API ~1.2M (paper), FUSE >50% of API, Lustre ~tens of k.
+    assert last["diesel_api_qps"] == pytest.approx(1.2e6, rel=0.35)
+    assert last["fuse_to_api"] > 0.5
+    assert last["lustre_qps"] < 100_000
+    # DIESEL scales with client count; Lustre does not.
+    first = result.rows[0]
+    assert last["diesel_api_qps"] > 5 * first["diesel_api_qps"]
+    assert last["lustre_qps"] < 1.5 * first["lustre_qps"]
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11b_cache_recovery(experiment):
+    result = experiment(fig11b_cache_recovery)
+    diesel = [r for r in result.rows if r["system"] == "diesel"]
+    memcached = [r for r in result.rows if r["system"] == "memcached"]
+    # DIESEL finishes loading 100% long before Memcached refills 20%
+    # (chunk-granular streaming vs per-file RPC + Lustre reads).
+    assert diesel[-1]["at_s"] < memcached[-1]["at_s"] / 10
+    # DIESEL batch read times stabilize low once warm.
+    assert diesel[-1]["batch_read_s"] < diesel[0]["batch_read_s"]
+    # Memcached batches improve as the cache refills.
+    assert memcached[-1]["batch_read_s"] < memcached[0]["batch_read_s"]

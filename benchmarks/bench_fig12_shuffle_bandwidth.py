@@ -1,0 +1,26 @@
+"""Fig 12: read bandwidth with chunk-wise shuffle (memory-constrained)."""
+
+import pytest
+
+from repro.bench.experiments import fig12_shuffle_bandwidth
+from repro.calibration import KB
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_shuffle_bandwidth(experiment):
+    result = experiment(fig12_shuffle_bandwidth)
+    r4k = result.one(file_size=4 * KB)
+    r128k = result.one(file_size=128 * KB)
+    # 4KB: chunk-wise reads transform Lustre's ~60MB/s into GB/s
+    # (paper: 71.7x API / 57.8x FUSE; scaled run: >15x).
+    assert r4k["lustre_mbps"] == pytest.approx(60.2, rel=0.25)
+    assert r4k["api_speedup"] > 15
+    assert r4k["fuse_speedup"] > 12
+    # 128KB: both move real bytes; DIESEL is storage-bandwidth-bound and
+    # several-fold faster (paper: 5.0x / 4.4x).
+    assert 3 < r128k["api_speedup"] < 12
+    assert 3 < r128k["fuse_speedup"] < 12
+    assert r128k["diesel_api_mbps"] == pytest.approx(10_095, rel=0.5)
+    # FUSE never beats the native API.
+    assert r4k["diesel_fuse_mbps"] <= r4k["diesel_api_mbps"]
+    assert r128k["diesel_fuse_mbps"] <= r128k["diesel_api_mbps"]

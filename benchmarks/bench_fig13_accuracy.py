@@ -1,0 +1,36 @@
+"""Fig 13: chunk-wise shuffle does not hurt model accuracy/convergence."""
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import fig13_shuffle_accuracy
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13_shuffle_accuracy(experiment):
+    result = experiment(fig13_shuffle_accuracy)
+    strategies = sorted({r["strategy"] for r in result.rows})
+    assert "shuffle dataset" in strategies
+
+    def final_top1(strategy):
+        rows = result.where(strategy=strategy)
+        return float(np.mean([r["top1"] for r in rows[-5:]]))
+
+    def final_top5(strategy):
+        rows = result.where(strategy=strategy)
+        return float(np.mean([r["top5"] for r in rows[-5:]]))
+
+    base1, base5 = final_top1("shuffle dataset"), final_top5("shuffle dataset")
+    # The model genuinely learned (10 classes: chance is 0.1 / 0.5).
+    assert base1 > 0.45
+    assert base5 > 0.85
+    for s in strategies:
+        if s == "shuffle dataset":
+            continue
+        # Accuracy within 1.5 points of full shuffle (paper: curves overlap).
+        assert abs(final_top1(s) - base1) < 0.015, s
+        assert abs(final_top5(s) - base5) < 0.015, s
+        # Convergence speed: mid-training accuracy also matches.
+        mid_base = result.where(strategy="shuffle dataset")[15]["top1"]
+        mid_s = result.where(strategy=s)[15]["top1"]
+        assert abs(mid_s - mid_base) < 0.05, s

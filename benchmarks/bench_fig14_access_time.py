@@ -1,0 +1,23 @@
+"""Fig 14: per-iteration data access time, Lustre vs DIESEL-FUSE."""
+
+import pytest
+
+from repro.bench.experiments import fig14_data_access_time
+
+MODELS = ("alexnet", "vgg11", "resnet18", "resnet50")
+
+
+@pytest.mark.benchmark(group="fig14")
+def test_fig14_data_access_time(experiment):
+    result = experiment(fig14_data_access_time)
+    for model in MODELS:
+        lustre = result.one(model=model, system="lustre")
+        diesel = result.one(model=model, system="diesel-fuse")
+        # DIESEL-FUSE cuts batch fetch time to well under Lustre's
+        # (paper: about half on every model).
+        assert diesel["mean_fetch_s"] < 0.6 * lustre["mean_fetch_s"], model
+        # Both systems show the epoch-start spike (shuffle + cold pipe).
+        assert lustre["epoch_start_spike_s"] > 3 * lustre["mean_stall_s"]
+        assert diesel["epoch_start_spike_s"] > diesel["mean_stall_s"]
+        # The stall (unhidden part) shrinks even more than the fetch time.
+        assert diesel["mean_stall_s"] < lustre["mean_stall_s"]

@@ -1,0 +1,29 @@
+"""Fig 15: normalized total training time over 90 ImageNet epochs."""
+
+import pytest
+
+from repro.bench.experiments import fig15_training_time
+
+MODELS = ("alexnet", "vgg11", "resnet18", "resnet50")
+
+
+@pytest.mark.benchmark(group="fig15")
+def test_fig15_training_time(experiment):
+    result = experiment(fig15_training_time)
+    for model in MODELS:
+        row = result.one(model=model)
+        # DIESEL always reduces total time; reductions land in the
+        # paper's regime (15-27%, more for lighter models).
+        assert 0.05 < row["total_reduction"] < 0.50, model
+        assert row["io_reduction"] > 0.5, model  # paper: 51-58%
+        assert row["normalized_total"] < 1.0
+    # Lighter models (more IO-bound) save a larger share than ResNet-50.
+    assert (
+        result.one(model="alexnet")["total_reduction"]
+        > result.one(model="resnet50")["total_reduction"]
+    )
+    # Projected job lengths are in the paper's tens-of-hours regime.
+    for model in MODELS:
+        row = result.one(model=model)
+        assert 10 < row["lustre_total_h"] < 80
+        assert row["diesel_total_h"] < row["lustre_total_h"]

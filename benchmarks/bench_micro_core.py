@@ -1,0 +1,130 @@
+"""Real wall-clock micro-benchmarks of the library's hot paths.
+
+Unlike the ``bench_fig*`` files (which reproduce the paper's simulated
+experiments), these measure the actual Python implementation: chunk
+encode/decode throughput, snapshot serialization, O(1) snapshot lookups,
+chunk-wise shuffle generation, consistent-hash lookups, and KV prefix
+scans.  They guard the data structures the simulation's fidelity rests
+on.
+"""
+
+import random
+
+import pytest
+
+from repro.core.chunk import Chunk
+from repro.core.meta import FileRecord
+from repro.core.shuffle import chunkwise_shuffle
+from repro.core.snapshot import MetadataSnapshot, SnapshotIndex, build_snapshot
+from repro.kvstore.kv import KVTable
+from repro.util.hashing import ConsistentHashRing
+from repro.util.ids import ChunkIdGenerator
+
+GEN = ChunkIdGenerator(machine=b"\x0b" * 6, pid=11)
+
+
+def make_chunk(n_files=256, file_size=4096):
+    items = [(f"/bench/f{i:05d}", bytes([i % 256]) * file_size)
+             for i in range(n_files)]
+    return Chunk.build(GEN.next(), items)
+
+
+def make_snapshot(n_files=20_000, n_chunks=64):
+    cids = sorted(GEN.take(n_chunks))
+    files = [
+        FileRecord(f"/ds/class{i % 100:03d}/img{i:06d}.jpg",
+                   cids[i % n_chunks], (i // n_chunks) * 4096, 4096, i)
+        for i in range(n_files)
+    ]
+    return build_snapshot("bench", 1, files, cids)
+
+
+@pytest.mark.benchmark(group="micro-chunk")
+def test_chunk_encode(benchmark):
+    chunk = make_chunk()
+    blob = benchmark(chunk.encode)
+    assert len(blob) > 256 * 4096
+
+
+@pytest.mark.benchmark(group="micro-chunk")
+def test_chunk_decode(benchmark):
+    blob = make_chunk().encode()
+    chunk = benchmark(Chunk.decode, blob)
+    assert len(chunk) == 256
+
+
+@pytest.mark.benchmark(group="micro-chunk")
+def test_chunk_header_only_decode(benchmark):
+    """Recovery's fast path: header decode must not touch payloads."""
+    blob = make_chunk().encode()
+    shell, _ = benchmark(Chunk.decode_header, blob)
+    assert len(shell.files) == 256
+
+
+@pytest.mark.benchmark(group="micro-snapshot")
+def test_snapshot_serialize(benchmark):
+    snap = make_snapshot()
+    blob = benchmark(snap.serialize)
+    assert len(blob) / snap.file_count < 80  # compactness (§4.1.3)
+
+
+@pytest.mark.benchmark(group="micro-snapshot")
+def test_snapshot_load(benchmark):
+    blob = make_snapshot().serialize()
+
+    def load():
+        return SnapshotIndex(MetadataSnapshot.deserialize(blob))
+
+    index = benchmark(load)
+    assert index.file_count == 20_000
+
+
+@pytest.mark.benchmark(group="micro-snapshot")
+def test_snapshot_lookup(benchmark):
+    """The Fig 10b hot path: must be well under 2µs per lookup."""
+    index = SnapshotIndex(make_snapshot())
+    paths = index.all_paths()
+    rng = random.Random(0)
+    sample = [rng.choice(paths) for _ in range(1000)]
+
+    def lookups():
+        total = 0
+        for p in sample:
+            total += index.lookup(p).length
+        return total
+
+    assert benchmark(lookups) == 1000 * 4096
+    per_lookup = benchmark.stats["mean"] / 1000
+    assert per_lookup < 2e-6, f"snapshot lookup too slow: {per_lookup:.2e}s"
+
+
+@pytest.mark.benchmark(group="micro-shuffle")
+def test_chunkwise_shuffle_generation(benchmark):
+    index = SnapshotIndex(make_snapshot())
+    grouping = index.files_by_chunk()
+
+    plan = benchmark(chunkwise_shuffle, grouping, 8, random.Random(0))
+    assert plan.file_count == 20_000
+
+
+@pytest.mark.benchmark(group="micro-hash")
+def test_consistent_hash_lookup(benchmark):
+    ring = ConsistentHashRing([f"node{i}" for i in range(20)], replicas=128)
+    keys = [f"/img/f{i}" for i in range(1000)]
+
+    def lookups():
+        return [ring.lookup(k) for k in keys]
+
+    owners = benchmark(lookups)
+    assert len(set(owners)) > 10
+
+
+@pytest.mark.benchmark(group="micro-kv")
+def test_kv_pscan(benchmark):
+    table = KVTable()
+    for i in range(50_000):
+        table.put(f"f:ds:/class{i % 100:03d}/img{i:06d}", b"x" * 40)
+    table.keys()  # build the index outside the timed region
+
+    result = benchmark(table.pscan, "f:ds:/class042/")
+    assert len(result) == 500

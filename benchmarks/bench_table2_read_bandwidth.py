@@ -1,0 +1,23 @@
+"""Table 2: read bandwidth and IOPS versus file size (SSD cluster)."""
+
+import pytest
+
+from repro.bench.experiments import PAPER, table2_read_bandwidth
+from repro.calibration import KB, MB
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_read_bandwidth(experiment):
+    result = experiment(table2_read_bandwidth)
+    # Every row within 20% of the paper's measurement.
+    for row in result.rows:
+        assert row["files_per_s"] == pytest.approx(
+            row["paper_files_per_s"], rel=0.20
+        ), f"size {row['file_size']}"
+    # Headline shape: 4MB reads deliver ~25x the 4K-IOPS of 4KB reads.
+    iops_4k = result.one(file_size=4 * KB)["iops_4k"]
+    iops_4m = result.one(file_size=4 * MB)["iops_4k"]
+    assert 20 <= iops_4m / iops_4k <= 30
+    # Bandwidth grows monotonically with request size.
+    mbps = result.column("mbps")
+    assert mbps == sorted(mbps)

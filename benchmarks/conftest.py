@@ -1,0 +1,33 @@
+"""Benchmark harness glue.
+
+Each ``bench_*`` module regenerates one table/figure of the paper via
+``pytest --benchmark-only benchmarks/``.  The benchmark clock measures
+the harness wall time (the experiments run a discrete-event simulation);
+the *reproduced quantities* are the simulated rates/latencies, which are
+printed as a paper-style table and verified with shape assertions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import format_result
+
+
+def run_experiment(benchmark, experiment_fn, **kwargs):
+    """Run ``experiment_fn`` once under the benchmark timer and print its
+    paper-style table; returns the ExperimentResult for shape checks."""
+    result = benchmark.pedantic(
+        lambda: experiment_fn(**kwargs), rounds=1, iterations=1
+    )
+    print()
+    print(format_result(result))
+    return result
+
+
+@pytest.fixture
+def experiment(benchmark):
+    def _run(fn, **kwargs):
+        return run_experiment(benchmark, fn, **kwargs)
+
+    return _run

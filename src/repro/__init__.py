@@ -1,0 +1,63 @@
+"""repro — a from-scratch reproduction of DIESEL (Wang et al., ICPP 2020).
+
+DIESEL is a dataset-based distributed storage and caching system for
+large-scale deep-learning training.  This package implements the full
+system and every substrate it depends on in Python:
+
+* :mod:`repro.core` — the DIESEL contribution: self-contained chunks,
+  decoupled metadata + snapshots, the task-grained distributed cache,
+  chunk-wise shuffle, the libDIESEL API and a FUSE-style facade;
+* :mod:`repro.sim`, :mod:`repro.cluster`, :mod:`repro.rpc` — a
+  discrete-event-simulated cluster (devices, network, RPC) so performance
+  experiments reproduce the paper's contention shapes;
+* :mod:`repro.kvstore`, :mod:`repro.objectstore` — the Redis-cluster and
+  Ceph-like storage substrates;
+* :mod:`repro.baselines` — Lustre, Memcached-cluster and local-XFS
+  comparators;
+* :mod:`repro.dlt` — deep-learning-training workload models and a real
+  numpy SGD trainer for the shuffle-accuracy experiments;
+* :mod:`repro.workloads` — synthetic ImageNet-1K / CIFAR-10-like dataset
+  generators;
+* :mod:`repro.bench` — the experiment harness regenerating every table
+  and figure of the paper's evaluation (see EXPERIMENTS.md).
+
+Quickstart: see ``examples/quickstart.py``.
+"""
+
+from repro.calibration import Calibration, DEFAULT
+from repro.core import (
+    Chunk,
+    ChunkBuilder,
+    DieselClient,
+    DieselConfig,
+    DieselServer,
+    FuseMount,
+    MetadataSnapshot,
+    SnapshotIndex,
+    TaskCache,
+    chunkwise_shuffle,
+    full_shuffle,
+)
+from repro.core.client import SyncDieselClient
+from repro.sim import Environment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Calibration",
+    "Chunk",
+    "ChunkBuilder",
+    "DEFAULT",
+    "DieselClient",
+    "DieselConfig",
+    "DieselServer",
+    "Environment",
+    "FuseMount",
+    "MetadataSnapshot",
+    "SnapshotIndex",
+    "SyncDieselClient",
+    "TaskCache",
+    "chunkwise_shuffle",
+    "full_shuffle",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""Baseline systems the paper compares DIESEL against.
+
+* :class:`LustreFS` — the shared distributed filesystem (MDS + OSS model
+  with optional DNE namespace distribution), §2.2 / §6.
+* :class:`MemcachedCluster` — the global in-memory cache baseline
+  (consistent hashing via a twemproxy-like layer, per-request RPCs,
+  no write batching), §6.1 / §6.4.
+* :class:`LocalXfs` — a local-filesystem model for the Fig 10c metadata
+  comparison.
+
+All three really store/serve bytes; their cost models are calibrated in
+:mod:`repro.calibration`.
+"""
+
+from repro.baselines.localfs import LocalXfs
+from repro.baselines.lustre import LustreFS
+from repro.baselines.memcached import MemcachedCluster, MemcachedNode
+
+__all__ = ["LocalXfs", "LustreFS", "MemcachedCluster", "MemcachedNode"]

@@ -1,0 +1,1096 @@
+"""One reproduction function per table/figure of the paper's §6.
+
+Workloads are scaled down (file counts, thread counts) for tractable
+run times; all reported quantities are rates, latencies and ratios,
+which are scale-free once the measured phase reaches steady state.
+Every function returns an :class:`~repro.bench.harness.ExperimentResult`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.localfs import LocalXfs
+from repro.bench.harness import ExperimentResult, timer
+from repro.bench.setups import (
+    Testbed,
+    add_diesel,
+    add_lustre,
+    add_memcached,
+    bulk_load_diesel,
+    bulk_load_lustre,
+    bulk_load_memcached,
+    diesel_client_with_snapshot,
+    make_testbed,
+)
+from repro.calibration import DEFAULT, KB, MB, MODEL_ZOO
+from repro.core.config import DieselConfig
+from repro.core.dist_cache import CacheClient, TaskCache
+from repro.core.fuse import FuseMount
+from repro.core.shuffle import chunk_adjacency, chunkwise_shuffle, full_shuffle
+from repro.cluster.devices import Device
+from repro.cluster.node import Node
+from repro.dlt.readers import FuseReader, LustreReader
+from repro.dlt.sgd import SoftmaxClassifier, train_with_orders
+from repro.dlt.synthetic import SyntheticDataset
+from repro.dlt.trainer import run_training
+from repro.sim import Environment
+from repro.workloads.filegen import generate_file
+
+# Paper-reported reference values used for shape annotations.
+PAPER = {
+    "table2": {  # file size (bytes) -> (MB/s, files/s, 4K-IOPS)
+        1 * KB: (33.54, 34353.45, 8588.36),
+        4 * KB: (128.28, 32841.47, 32841.47),
+        16 * KB: (464.44, 29724.48, 118897.92),
+        64 * KB: (1317.04, 21072.64, 337162.24),
+        256 * KB: (2725.93, 10903.72, 697838.08),
+        1 * MB: (3104.26, 3104.26, 794690.56),
+        4 * MB: (3197.68, 799.42, 818606.08),
+    },
+    "fig9": {
+        # files/s: paper gives DIESEL >2M at 4KB, ratios vs others.
+        ("diesel", 4 * KB): 2_000_000.0,
+        ("ratio_vs_memcached", 4 * KB): 1.79,
+        ("ratio_vs_lustre", 4 * KB): 366.7,
+        ("ratio_vs_memcached", 128 * KB): 17.3,
+        ("ratio_vs_lustre", 128 * KB): 127.3,
+    },
+    "fig10b": {"qps_1node": 8.83e6, "qps_10nodes": 88.77e6},
+    "fig10c": {"lustre_ls": 35.0, "lustre_lsl": 170.0},
+    "fig11a": {"diesel_api": 1.2e6, "diesel_fuse": 0.8e6,
+               "memcached": 0.56e6, "lustre": 0.04e6},
+    "fig12": {
+        ("lustre", 4 * KB): 60.2, ("diesel-api", 4 * KB): 4317.0,
+        ("diesel-fuse", 4 * KB): 3483.7,
+        ("lustre", 128 * KB): 2001.8, ("diesel-api", 128 * KB): 10095.3,
+        ("diesel-fuse", 128 * KB): 8712.5,
+    },
+    "fig15": {"io_reduction": (0.51, 0.58), "total_reduction": (0.15, 0.27)},
+}
+
+
+# =========================================================== Table 2
+def table2_read_bandwidth(
+    sizes: Sequence[int] = tuple(PAPER["table2"]),
+    reads_per_size: int = 200,
+) -> ExperimentResult:
+    """Table 2: read bandwidth and IOPS vs file size on the SSD cluster.
+
+    One reader stream against the calibrated NVMe pool, exactly the
+    paper's measurement; rows report MB/s, files/s and equivalent
+    4K-IOPS alongside the paper's numbers.
+    """
+    result = ExperimentResult("read bandwidth vs file size", "Table 2")
+    with timer(result):
+        for size in sizes:
+            env = Environment()
+            device = Device.nvme(env)
+
+            def reader(env=env, device=device, size=size):
+                for _ in range(reads_per_size):
+                    yield from device.read(size)
+                return env.now
+
+            proc = env.process(reader())
+            elapsed = env.run(until=proc)
+            files_per_s = reads_per_size / elapsed
+            mb_per_s = files_per_s * size / MB
+            iops_4k = files_per_s * (size / (4 * KB))
+            paper_mb, paper_fps, paper_iops = PAPER["table2"][size]
+            result.add(
+                file_size=size,
+                mbps=mb_per_s,
+                files_per_s=files_per_s,
+                iops_4k=iops_4k,
+                paper_mbps=paper_mb,
+                paper_files_per_s=paper_fps,
+                paper_iops_4k=paper_iops,
+            )
+        first, last = result.rows[0], result.rows[-1]
+        result.note(
+            f"4MB equivalent 4K-IOPS is "
+            f"{last['iops_4k'] / result.one(file_size=4 * KB)['iops_4k']:.1f}x "
+            f"the 4KB value (paper: ~25x)"
+        )
+        result.note(
+            f"bandwidth grows {last['mbps'] / first['mbps']:.0f}x from 1KB to 4MB"
+        )
+    return result
+
+
+# =========================================================== Fig 9
+def fig9_write_throughput(
+    files_per_proc: int = 120,
+    n_client_nodes: int = 4,
+    procs_per_node: int = 16,
+    sizes: Sequence[int] = (4 * KB, 128 * KB),
+) -> ExperimentResult:
+    """Fig 9: concurrent small-file write throughput, three systems.
+
+    4 nodes × 16 writer processes (the paper's 64 MPI procs).  DIESEL
+    clients aggregate into 4 MB chunks; Memcached SETs one RPC per file;
+    Lustre pays MDS + journaled OSS per create.
+    """
+    result = ExperimentResult("write throughput", "Fig 9")
+    with timer(result):
+        for size in sizes:
+            rates: Dict[str, float] = {}
+            total_files = n_client_nodes * procs_per_node * files_per_proc
+
+            def paths_for(proc_id: int) -> list[str]:
+                return [
+                    f"/w/p{proc_id:03d}/f{i:05d}.bin"
+                    for i in range(files_per_proc)
+                ]
+
+            payload = b"\xab" * size
+
+            # --- DIESEL ---
+            from repro.core.client import DieselClient
+
+            tb = make_testbed(n_compute=n_client_nodes)
+            add_diesel(tb)
+            clients = [
+                DieselClient(
+                    tb.env, tb.compute_nodes[p % n_client_nodes],
+                    tb.diesel_servers, "writeset", name=f"w{p}", rank=p,
+                    calibration=tb.cal,
+                )
+                for p in range(n_client_nodes * procs_per_node)
+            ]
+
+            def diesel_writer(client, proc_id):
+                for path in paths_for(proc_id):
+                    yield from client.put(path, payload)
+                yield from client.flush()
+
+            t0 = tb.env.now
+            tb.run_all(
+                diesel_writer(c, p) for p, c in enumerate(clients)
+            )
+            rates["diesel"] = total_files / (tb.env.now - t0)
+
+            # --- Memcached ---
+            tb = make_testbed(n_compute=n_client_nodes + 10)
+            mc = add_memcached(tb, n_servers=10)
+            writer_nodes = tb.compute_nodes[10:]
+
+            def mc_writer(node, proc_id):
+                for path in paths_for(proc_id):
+                    yield from mc.set(node, path, payload)
+
+            t0 = tb.env.now
+            tb.run_all(
+                mc_writer(writer_nodes[p % n_client_nodes], p)
+                for p in range(n_client_nodes * procs_per_node)
+            )
+            rates["memcached"] = total_files / (tb.env.now - t0)
+
+            # --- Lustre ---
+            tb = make_testbed(n_compute=n_client_nodes)
+            fs = add_lustre(tb)
+
+            def lustre_writer(node, proc_id):
+                for path in paths_for(proc_id):
+                    yield from fs.write_file(node, path, payload)
+
+            t0 = tb.env.now
+            tb.run_all(
+                lustre_writer(tb.compute_nodes[p % n_client_nodes], p)
+                for p in range(n_client_nodes * procs_per_node)
+            )
+            rates["lustre"] = total_files / (tb.env.now - t0)
+
+            result.add(
+                file_size=size,
+                diesel_files_per_s=rates["diesel"],
+                memcached_files_per_s=rates["memcached"],
+                lustre_files_per_s=rates["lustre"],
+                speedup_vs_memcached=rates["diesel"] / rates["memcached"],
+                speedup_vs_lustre=rates["diesel"] / rates["lustre"],
+                paper_speedup_vs_memcached=PAPER["fig9"][
+                    ("ratio_vs_memcached", size)
+                ],
+                paper_speedup_vs_lustre=PAPER["fig9"][("ratio_vs_lustre", size)],
+            )
+        result.note("paper: DIESEL writes >2M 4KB files/s with 64 procs")
+    return result
+
+
+# =========================================================== Fig 10a/10b
+def fig10a_metadata_scaling(
+    server_counts: Sequence[int] = (1, 3, 5),
+    node_counts: Sequence[int] = (1, 2, 3, 5, 7, 10),
+    threads_per_node: int = 16,
+    queries_per_thread: int = 60,
+) -> ExperimentResult:
+    """Fig 10a: metadata QPS vs #client nodes for 1/3/5 DIESEL servers.
+
+    Clients issue stat() RPCs (get-file-size, the paper's workload)
+    against the server pool; per-call client think time is the
+    calibrated POSIX/framework overhead.  Curves flatten when the server
+    pool saturates — earlier with fewer servers.
+    """
+    result = ExperimentResult("metadata scaling (server path)", "Fig 10a")
+    think = DEFAULT.diesel.metadata_think_s
+    with timer(result):
+        for n_servers in server_counts:
+            for n_nodes in node_counts:
+                tb = make_testbed(n_compute=n_nodes)
+                add_diesel(tb, n_servers=n_servers)
+                files = {f"/m/f{i:04d}": b"x" * 64 for i in range(256)}
+                bulk_load_diesel(tb, "meta", files, chunk_size=64 * 1024)
+                paths = list(files)
+                servers = tb.diesel_servers
+
+                def client(node, tid):
+                    rng = random.Random(tid)
+                    for q in range(queries_per_thread):
+                        server = servers[(tid + q) % len(servers)]
+                        yield from server.call(
+                            node, "stat", "meta", rng.choice(paths)
+                        )
+                        yield tb.env.timeout(think)
+
+                total = n_nodes * threads_per_node * queries_per_thread
+                t0 = tb.env.now
+                tb.run_all(
+                    client(tb.compute_nodes[t % n_nodes], t)
+                    for t in range(n_nodes * threads_per_node)
+                )
+                result.add(
+                    servers=n_servers,
+                    client_nodes=n_nodes,
+                    qps=total / (tb.env.now - t0),
+                )
+        result.note("paper: 1 server flattens ~2 nodes, 3 ~7 nodes, "
+                    "5 approach the 0.97M QPS Redis cap")
+    return result
+
+
+def fig10b_snapshot_scaling(
+    node_counts: Sequence[int] = (1, 2, 4, 6, 8, 10),
+    threads_per_node: int = 16,
+    lookups_per_thread: int = 50_000,
+) -> ExperimentResult:
+    """Fig 10b: metadata QPS with snapshots — linear in client count.
+
+    With a loaded snapshot every lookup is a local hashmap hit
+    (calibrated 1.81 µs), so aggregate QPS is exactly linear; no shared
+    resource appears anywhere on the path.
+    """
+    result = ExperimentResult("metadata scaling (snapshot path)", "Fig 10b")
+    per_lookup = DEFAULT.diesel.client_meta_lookup_s
+    with timer(result):
+        for n_nodes in node_counts:
+            threads = n_nodes * threads_per_node
+            # Local-only path: closed-form per-thread rate; simulate one
+            # thread to keep the event loop honest.
+            env = Environment()
+
+            def one_thread(env=env):
+                for _ in range(1000):
+                    yield env.timeout(per_lookup)
+                return env.now
+
+            proc = env.process(one_thread())
+            elapsed = env.run(until=proc)
+            per_thread_qps = 1000 / elapsed
+            result.add(
+                client_nodes=n_nodes,
+                qps=per_thread_qps * threads,
+                paper_qps=PAPER["fig10b"]["qps_1node"] * n_nodes,
+            )
+        result.note("paper: 8.83M QPS at 1 node -> 88.77M at 10 (linear)")
+    return result
+
+
+def fig10c_ls_elapsed(
+    n_files: int = 4_000,
+    n_dirs: int = 100,
+    full_scale_files: int = 1_281_167,
+) -> ExperimentResult:
+    """Fig 10c: `ls -R` / `ls -lR` on ImageNet-1K: Lustre vs XFS vs
+    DIESEL-FUSE.
+
+    Runs a scaled directory tree and extrapolates per-entry costs to the
+    full 1.28M-file dataset (metadata walks are embarrassingly linear in
+    entry count).  All systems additionally pay the single-threaded `ls`
+    process's own per-entry work (dirent decoding, sorting, output) —
+    the paper shows this dominating `ls -R` for Lustre *and* DIESEL-FUSE
+    alike (~30-40 s for 1.28 M files ⇒ ~25 µs/entry).
+    """
+    result = ExperimentResult("ls -R / ls -lR elapsed", "Fig 10c")
+    scale = full_scale_files / n_files
+    payload = b"z" * 512
+    LS_CLIENT_PER_ENTRY_S = 25e-6
+    ls_client_cost = full_scale_files * LS_CLIENT_PER_ENTRY_S
+
+    def tree_files():
+        return {
+            f"/imagenet/class{i % n_dirs:04d}/img{i:06d}.jpg": payload
+            for i in range(n_files)
+        }
+
+    with timer(result):
+        # --- Lustre ---
+        tb = make_testbed(n_compute=1)
+        fs = add_lustre(tb)
+        bulk_load_lustre(tb, tree_files())
+        node = tb.compute_nodes[0]
+
+        def lustre_ls(with_sizes):
+            t0 = tb.env.now
+            yield from fs.ls_recursive(node, "/imagenet", with_sizes=with_sizes)
+            return tb.env.now - t0
+
+        lustre_plain = tb.run(lustre_ls(False)) * scale
+        lustre_sizes = tb.run(lustre_ls(True)) * scale
+
+        # --- XFS ---
+        env = Environment()
+        xfs = LocalXfs(env, Node(env, "local"))
+        for path, data in tree_files().items():
+            xfs.write_file(path, data)
+
+        def xfs_ls(with_sizes):
+            t0 = env.now
+            yield from xfs.ls_recursive("/imagenet", with_sizes=with_sizes)
+            return env.now - t0
+
+        proc = env.process(xfs_ls(False))
+        xfs_plain = env.run(until=proc) * scale
+        proc = env.process(xfs_ls(True))
+        xfs_sizes = env.run(until=proc) * scale
+
+        # --- DIESEL-FUSE (snapshot loaded) ---
+        tb = make_testbed(n_compute=1)
+        add_diesel(tb)
+        bulk_load_diesel(tb, "imagenet", tree_files())
+        client = diesel_client_with_snapshot(
+            tb, "imagenet", tb.compute_nodes[0], "lsclient"
+        )
+        fuse = FuseMount([client], tb.cal)
+
+        def fuse_ls(with_sizes):
+            t0 = tb.env.now
+            yield from fuse.ls_recursive("/imagenet", with_sizes=with_sizes)
+            return tb.env.now - t0
+
+        fuse_plain = tb.run(fuse_ls(False)) * scale
+        fuse_sizes = tb.run(fuse_ls(True)) * scale
+
+        for system, plain, sizes in (
+            ("lustre", lustre_plain, lustre_sizes),
+            ("xfs", xfs_plain, xfs_sizes),
+            ("diesel-fuse", fuse_plain, fuse_sizes),
+        ):
+            plain += ls_client_cost
+            sizes += ls_client_cost
+            result.add(
+                system=system,
+                ls_R_seconds=plain,
+                ls_lR_seconds=sizes,
+                stat_penalty=sizes / plain if plain else float("inf"),
+            )
+        result.note(
+            "paper: Lustre ls -R ~30-40s, ls -lR ~170s; DIESEL-FUSE flat "
+            "(sizes served from the in-memory snapshot at O(1))"
+        )
+    return result
+
+
+# =========================================================== Fig 6
+def fig6_cache_degradation(
+    n_servers: int = 20,
+    n_clients: int = 80,
+    files_per_iteration: int = 32,
+    iterations: int = 100,
+    kill_at: Sequence[int] = (30, 70),
+    n_files: int = 4_000,
+    file_size: int = 110 * KB,
+) -> ExperimentResult:
+    """Fig 6: Memcached read speed vs cache-hit ratio under node failures.
+
+    Clients iterate over random file batches from a Memcached cluster;
+    one instance is disabled at iteration 30 and a second at 70.  Misses
+    fall back to Lustre, whose op-limited small-file path cannot absorb
+    even a few percent of the traffic — aggregate speed collapses far
+    more than the miss fraction alone suggests.
+    """
+    result = ExperimentResult("cache hit ratio vs read speed", "Fig 6")
+    with timer(result):
+        tb = make_testbed(n_compute=n_servers + n_clients)
+        mc = add_memcached(tb, n_servers=n_servers)
+        fs = add_lustre(tb)
+        payload = b"\xcd" * file_size
+        files = {f"/ds/f{i:05d}.jpg": payload for i in range(n_files)}
+        bulk_load_memcached(tb, files)
+        bulk_load_lustre(tb, files)
+        paths = list(files)
+        client_nodes = tb.compute_nodes[n_servers:]
+
+        iteration_done = [0] * n_clients
+        iteration_times: List[List[float]] = [[] for _ in range(iterations)]
+        iteration_hits: List[List[int]] = [[] for _ in range(iterations)]
+
+        def client(cid: int):
+            node = client_nodes[cid % len(client_nodes)]
+            rng = random.Random(cid)
+            for it in range(iterations):
+                t0 = tb.env.now
+                hits = 0
+                for _ in range(files_per_iteration):
+                    path = rng.choice(paths)
+                    value = yield from mc.get(node, path)
+                    if value is None:
+                        # Miss: fall back to the shared filesystem.
+                        yield from fs.read_file(node, path)
+                    else:
+                        hits += 1
+                iteration_times[it].append(tb.env.now - t0)
+                iteration_hits[it].append(hits)
+                iteration_done[cid] = it + 1
+
+        # Kill one instance when the slowest client reaches each trigger.
+        def killer(threshold: int, which: int):
+            while min(iteration_done) < threshold:
+                yield tb.env.timeout(1e-3)
+            victim = sorted(mc.servers)[which]
+            mc.kill_server(victim)
+
+        procs = [tb.env.process(client(c)) for c in range(n_clients)]
+        for k, threshold in enumerate(kill_at):
+            tb.env.process(killer(threshold, k))
+        tb.env.run(until=tb.env.all_of(procs))
+
+        for it in range(iterations):
+            times = iteration_times[it]
+            hits = sum(iteration_hits[it])
+            total = files_per_iteration * len(times)
+            mean_t = sum(times) / len(times)
+            result.add(
+                iteration=it,
+                read_speed_files_per_s=total / sum(times) * len(times),
+                mean_iteration_s=mean_t,
+                hit_ratio=hits / total,
+            )
+        def window_mean(lo: int, hi: int) -> float:
+            values = [
+                r["read_speed_files_per_s"] for r in result.rows[lo:hi]
+            ]
+            return float(np.mean(values)) if values else float("nan")
+
+        healthy = window_mean(5, min(25, kill_at[0]))
+        one_dead = window_mean(kill_at[0] + 15, kill_at[-1] - 5)
+        two_dead = window_mean(kill_at[-1] + 15, iterations)
+        result.note(
+            f"speed: healthy {healthy:,.0f} -> one node dead {one_dead:,.0f} "
+            f"({1 - one_dead / healthy:.0%} drop) -> two dead {two_dead:,.0f} "
+            f"({1 - two_dead / healthy:.0%} drop)"
+        )
+        result.note("paper: ~5% misses reduce reading speed by ~90%")
+    return result
+
+
+# =========================================================== Fig 11a
+def fig11a_read_scaling(
+    node_counts: Sequence[int] = (1, 2, 4, 6, 8, 10),
+    clients_per_node: int = 16,
+    reads_per_client: int = 40,
+    n_files: int = 2_000,
+    file_size: int = 4 * KB,
+) -> ExperimentResult:
+    """Fig 11a: random 4KB read QPS vs client count for four systems.
+
+    DIESEL-API reads through the warmed task-grained cache; DIESEL-FUSE
+    adds the kernel-crossing overhead; Memcached serves per-file RPCs
+    through its consistent-hash cluster; Lustre reads files directly.
+    """
+    result = ExperimentResult("4KB random read scaling", "Fig 11a")
+    payload = b"\xef" * file_size
+    files = {f"/r/f{i:05d}": payload for i in range(n_files)}
+    paths = list(files)
+    with timer(result):
+        for n_nodes in node_counts:
+            n_clients = n_nodes * clients_per_node
+            total_reads = n_clients * reads_per_client
+            qps: Dict[str, float] = {}
+
+            # --- DIESEL (API and FUSE share one warmed deployment) ---
+            for flavor in ("api", "fuse"):
+                tb = make_testbed(n_compute=n_nodes)
+                add_diesel(tb)
+                bulk_load_diesel(tb, "ds", files, chunk_size=4 * MB)
+                clients = [
+                    diesel_client_with_snapshot(
+                        tb, "ds", tb.compute_nodes[c % n_nodes], f"c{c}", rank=c
+                    )
+                    for c in range(n_clients)
+                ]
+                cache = TaskCache(
+                    tb.env, tb.fabric, tb.diesel, "ds",
+                    [c.as_cache_client() for c in clients],
+                    policy="oneshot", calibration=tb.cal,
+                )
+                tb.run(cache.register())
+                tb.run(cache.wait_warm())
+                for c in clients:
+                    c.attach_cache(cache)
+                mounts = (
+                    [FuseMount([c], tb.cal) for c in clients]
+                    if flavor == "fuse" else None
+                )
+
+                def reader(cid: int):
+                    rng = random.Random(cid)
+                    for _ in range(reads_per_client):
+                        path = rng.choice(paths)
+                        if mounts is None:
+                            yield from clients[cid].get(path)
+                        else:
+                            yield from mounts[cid].read_file(path)
+
+                t0 = tb.env.now
+                tb.run_all(reader(c) for c in range(n_clients))
+                qps[f"diesel-{flavor}"] = total_reads / (tb.env.now - t0)
+
+            # --- Memcached ---
+            tb = make_testbed(n_compute=10 + n_nodes)
+            mc = add_memcached(tb, n_servers=10)
+            bulk_load_memcached(tb, files)
+            reader_nodes = tb.compute_nodes[10:]
+
+            def mc_reader(cid: int):
+                node = reader_nodes[cid % n_nodes]
+                rng = random.Random(cid)
+                for _ in range(reads_per_client):
+                    yield from mc.get(node, rng.choice(paths))
+
+            t0 = tb.env.now
+            tb.run_all(mc_reader(c) for c in range(n_clients))
+            qps["memcached"] = total_reads / (tb.env.now - t0)
+
+            # --- Lustre ---
+            tb = make_testbed(n_compute=n_nodes)
+            fs = add_lustre(tb)
+            bulk_load_lustre(tb, files)
+
+            def lustre_reader(cid: int):
+                node = tb.compute_nodes[cid % n_nodes]
+                rng = random.Random(cid)
+                for _ in range(reads_per_client):
+                    yield from fs.read_file(node, rng.choice(paths))
+
+            t0 = tb.env.now
+            tb.run_all(lustre_reader(c) for c in range(n_clients))
+            qps["lustre"] = total_reads / (tb.env.now - t0)
+
+            result.add(
+                client_nodes=n_nodes,
+                diesel_api_qps=qps["diesel-api"],
+                diesel_fuse_qps=qps["diesel-fuse"],
+                memcached_qps=qps["memcached"],
+                lustre_qps=qps["lustre"],
+                fuse_to_api=qps["diesel-fuse"] / qps["diesel-api"],
+            )
+        last = result.rows[-1]
+        result.note(
+            "paper @10 nodes: API ~1.2M, FUSE ~0.8M (>60% of API), "
+            "Memcached ~0.56M, Lustre ~0.04M"
+        )
+        result.note(
+            f"measured @{last['client_nodes']} nodes: API "
+            f"{last['diesel_api_qps']:,.0f}, FUSE {last['diesel_fuse_qps']:,.0f}, "
+            f"Memcached {last['memcached_qps']:,.0f}, Lustre "
+            f"{last['lustre_qps']:,.0f}"
+        )
+    return result
+
+
+# =========================================================== Fig 11b
+def fig11b_cache_recovery(
+    n_files: int = 3_000,
+    file_size: int = 110 * KB,
+    n_nodes: int = 10,
+    batch_size: int = 64,
+    memcached_start_hit: float = 0.8,
+) -> ExperimentResult:
+    """Fig 11b: cache load/recovery time, DIESEL vs Memcached.
+
+    DIESEL warms from 0% by streaming whole chunks (oneshot prefetch)
+    while a foreground reader measures per-batch read times; Memcached
+    starts at 80% hit ratio (as in the paper — a 0% start would take
+    excessively long) and refills per file from Lustre on each miss.
+    """
+    result = ExperimentResult("cache loading / recovery time", "Fig 11b")
+    payload_files = {
+        f"/ds/f{i:05d}.jpg": b"\x42" * file_size for i in range(n_files)
+    }
+    paths = list(payload_files)
+    with timer(result):
+        # --- DIESEL: 0% -> 100% via background chunk prefetch ---
+        tb = make_testbed(n_compute=n_nodes)
+        add_diesel(tb)
+        bulk_load_diesel(tb, "ds", payload_files, chunk_size=4 * MB)
+        clients = [
+            diesel_client_with_snapshot(
+                tb, "ds", tb.compute_nodes[c % n_nodes], f"c{c}", rank=c
+            )
+            for c in range(n_nodes)
+        ]
+        cache = TaskCache(
+            tb.env, tb.fabric, tb.diesel, "ds",
+            [c.as_cache_client() for c in clients],
+            policy="oneshot", calibration=tb.cal,
+        )
+        tb.run(cache.register())  # prefetch begins in the background
+        warm_done: Dict[str, float] = {}
+
+        def warm_waiter():
+            yield from cache.wait_warm()
+            warm_done["at"] = tb.env.now
+
+        tb.env.process(warm_waiter())
+
+        def diesel_reader():
+            rng = random.Random(0)
+            records = []
+            index = clients[0].index
+            while cache.cached_chunks() < len(index.chunk_ids()):
+                t0 = tb.env.now
+                for _ in range(batch_size):
+                    rec = index.lookup(rng.choice(paths))
+                    yield from cache.read_file(
+                        clients[0].as_cache_client(), rec
+                    )
+                records.append((tb.env.now, tb.env.now - t0))
+            # A few steady-state batches after full warm-up.
+            for _ in range(5):
+                t0 = tb.env.now
+                for _ in range(batch_size):
+                    rec = index.lookup(rng.choice(paths))
+                    yield from cache.read_file(
+                        clients[0].as_cache_client(), rec
+                    )
+                records.append((tb.env.now, tb.env.now - t0))
+            return records
+
+        records = tb.run(diesel_reader())
+        tb.env.run()  # drain the warm waiter
+        diesel_done_at = warm_done.get("at", tb.env.now)
+        for ts, dur in records:
+            result.add(system="diesel", at_s=ts, batch_read_s=dur)
+
+        # --- Memcached: 80% -> 100%, per-file refill from Lustre ---
+        tb = make_testbed(n_compute=10 + 1)
+        mc = add_memcached(tb, n_servers=10)
+        fs = add_lustre(tb)
+        bulk_load_lustre(tb, payload_files)
+        warm = dict(list(payload_files.items())[: int(n_files * memcached_start_hit)])
+        bulk_load_memcached(tb, warm)
+        node = tb.compute_nodes[10]
+
+        def mc_reader():
+            rng = random.Random(0)
+            records = []
+            missing = set(paths) - set(warm)
+            while missing:
+                t0 = tb.env.now
+                for _ in range(batch_size):
+                    path = rng.choice(paths)
+                    value = yield from mc.get(node, path)
+                    if value is None:
+                        data = yield from fs.read_file(node, path)
+                        yield from mc.set(node, path, data)
+                        missing.discard(path)
+                records.append((tb.env.now, tb.env.now - t0))
+            return records
+
+        mc_records = tb.run(mc_reader())
+        mc_done_at = tb.env.now
+        for ts, dur in mc_records:
+            result.add(system="memcached", at_s=ts, batch_read_s=dur)
+
+        scale = 1_281_167 / n_files  # extrapolate to full ImageNet-1K
+        result.note(
+            f"DIESEL loaded 100% of the dataset in {diesel_done_at:.2f}s; "
+            f"Memcached needed {mc_done_at:.2f}s to refill just the last "
+            f"{1 - memcached_start_hit:.0%} "
+            f"(x{mc_done_at / diesel_done_at:.0f} slower for 1/5 the data)"
+        )
+        result.note(
+            f"extrapolated to full ImageNet-1K: DIESEL "
+            f"{diesel_done_at * scale:.0f}s for 100%, Memcached "
+            f"{mc_done_at * scale:.0f}s for the last 20% "
+            f"(paper: ~10s vs >100s)"
+        )
+    return result
+
+
+# =========================================================== Fig 12
+def fig12_shuffle_bandwidth(
+    n_nodes: int = 10,
+    threads_per_node: int = 16,
+    sizes: Sequence[int] = (4 * KB, 128 * KB),
+    files_per_thread: int = 30,
+    group_size: int = 2,
+) -> ExperimentResult:
+    """Fig 12: read bandwidth with chunk-wise shuffle, memory-constrained.
+
+    One shared chunk-wise epoch plan per task (as the training framework
+    generates); each node runs one DIESEL client (the FUSE mount's shared
+    cache, \u00a75) serving its 16 I/O threads, which walk the node's
+    contiguous slice of the plan together \u2014 so each data chunk is fetched
+    from storage approximately once.  Lustre reads the same files in a
+    fully shuffled order.  At 4 KB the win is per-op cost elimination
+    (paper: ~70\u00d7); at 128 KB both systems move real bytes and DIESEL is
+    bound by aggregate storage bandwidth (paper: ~5\u00d7).
+    """
+    result = ExperimentResult("read bandwidth, chunk-wise shuffle", "Fig 12")
+    with timer(result):
+        for size in sizes:
+            n_threads = n_nodes * threads_per_node
+            n_files = n_threads * files_per_thread
+            payload = b"\x5a" * size
+            files = {f"/sh/f{i:06d}": payload for i in range(n_files)}
+            total_bytes = n_files * size
+            rates: Dict[str, float] = {}
+
+            for flavor in ("api", "fuse"):
+                tb = make_testbed(n_compute=n_nodes)
+                add_diesel(tb)
+                bulk_load_diesel(tb, "ds", files, chunk_size=4 * MB)
+                node_clients = [
+                    diesel_client_with_snapshot(
+                        tb, "ds", tb.compute_nodes[n], f"mount{n}", rank=n
+                    )
+                    for n in range(n_nodes)
+                ]
+                for c in node_clients:
+                    c.enable_shuffle(group_size=group_size)
+                # One shared epoch order for the whole task.
+                plan = node_clients[0].epoch_file_list(seed=1).files
+                block = len(plan) // n_nodes
+                mounts = (
+                    [FuseMount([c], tb.cal) for c in node_clients]
+                    if flavor == "fuse" else None
+                )
+
+                def reader(node_idx: int, thread_idx: int):
+                    my = plan[node_idx * block : (node_idx + 1) * block]
+                    for path in my[thread_idx::threads_per_node]:
+                        if mounts is None:
+                            yield from node_clients[node_idx].get(path)
+                        else:
+                            yield from mounts[node_idx].read_file(path)
+
+                t0 = tb.env.now
+                tb.run_all(
+                    reader(n, t)
+                    for n in range(n_nodes)
+                    for t in range(threads_per_node)
+                )
+                rates[f"diesel-{flavor}"] = total_bytes / (tb.env.now - t0)
+
+            # --- Lustre, fully shuffled order ---
+            tb = make_testbed(n_compute=n_nodes)
+            fs = add_lustre(tb)
+            bulk_load_lustre(tb, files)
+            order = full_shuffle(list(files), random.Random(0))
+
+            def lustre_reader(tid: int):
+                node = tb.compute_nodes[tid % n_nodes]
+                lo = tid * files_per_thread
+                for path in order[lo : lo + files_per_thread]:
+                    yield from fs.read_file(node, path)
+
+            t0 = tb.env.now
+            tb.run_all(lustre_reader(t) for t in range(n_threads))
+            rates["lustre"] = total_bytes / (tb.env.now - t0)
+
+            result.add(
+                file_size=size,
+                lustre_mbps=rates["lustre"] / MB,
+                diesel_api_mbps=rates["diesel-api"] / MB,
+                diesel_fuse_mbps=rates["diesel-fuse"] / MB,
+                api_speedup=rates["diesel-api"] / rates["lustre"],
+                fuse_speedup=rates["diesel-fuse"] / rates["lustre"],
+                paper_lustre_mbps=PAPER["fig12"][("lustre", size)],
+                paper_api_mbps=PAPER["fig12"][("diesel-api", size)],
+                paper_fuse_mbps=PAPER["fig12"][("diesel-fuse", size)],
+            )
+        result.note("paper 4KB: API 71.7x and FUSE 57.8x over Lustre; "
+                    "128KB: 5.0x and 4.4x")
+    return result
+
+
+# =========================================================== Fig 13
+def fig13_shuffle_accuracy(
+    n_samples: int = 4000,
+    n_features: int = 32,
+    n_classes: int = 10,
+    samples_per_chunk: int = 25,
+    group_sizes: Sequence[int] = (4, 16),
+    epochs: int = 40,
+    batch_size: int = 32,
+    seed: int = 7,
+) -> ExperimentResult:
+    """Fig 13: model accuracy under chunk-wise vs full dataset shuffle.
+
+    Real SGD on synthetic 10-class data (see DESIGN.md §2 for the
+    substitution).  Samples are written to chunks in class-sorted order —
+    the adversarial layout ImageNet-style ingestion produces — so a
+    too-small group size genuinely hurts, and paper-like group sizes
+    must (and do) recover full-shuffle accuracy.
+    """
+    result = ExperimentResult("top-1/top-5 accuracy vs shuffle strategy",
+                              "Fig 13")
+    with timer(result):
+        data = SyntheticDataset.make(
+            n_samples=n_samples, n_features=n_features, n_classes=n_classes,
+            class_sep=2.2, noise=1.2, seed=seed,
+        )
+        train, test = data.split(test_fraction=0.25, seed=seed)
+        # Class-sorted chunk layout (ingestion order: directory by class).
+        sorted_idx = np.argsort(train.y, kind="stable")
+        chunks: Dict[int, list[int]] = {}
+        for pos, sample_idx in enumerate(sorted_idx):
+            chunks.setdefault(pos // samples_per_chunk, []).append(
+                int(sample_idx)
+            )
+
+        def chunkwise_orders(group_size: int) -> list[np.ndarray]:
+            orders = []
+            for epoch in range(epochs):
+                rng = random.Random(seed * 1000 + epoch)
+                cids = list(chunks)
+                rng.shuffle(cids)
+                order: list[int] = []
+                for lo in range(0, len(cids), group_size):
+                    pooled: list[int] = []
+                    for cid in cids[lo : lo + group_size]:
+                        pooled.extend(chunks[cid])
+                    rng.shuffle(pooled)
+                    order.extend(pooled)
+                orders.append(np.asarray(order))
+            return orders
+
+        def full_orders() -> list[np.ndarray]:
+            rng = np.random.default_rng(seed)
+            return [rng.permutation(len(train)) for _ in range(epochs)]
+
+        def factory():
+            # lr=0.1: hot enough to converge in ~40 epochs, cool enough
+            # that end-of-epoch recency bias does not confound the
+            # shuffle-order comparison.
+            return SoftmaxClassifier(
+                n_features, n_classes, lr=0.1, seed=seed
+            )
+
+        strategies = {"shuffle dataset": full_orders()}
+        for g in group_sizes:
+            strategies[f"chunk-wise g={g}"] = chunkwise_orders(g)
+
+        for name, orders in strategies.items():
+            history = train_with_orders(
+                factory, train.X, train.y, test.X, test.y, orders,
+                batch_size=batch_size,
+            )
+            for h in history:
+                result.add(strategy=name, epoch=h["epoch"],
+                           top1=h["top1"], top5=h["top5"])
+
+        def final(name: str) -> float:
+            rows = result.where(strategy=name)
+            return float(np.mean([r["top1"] for r in rows[-5:]]))
+
+        base = final("shuffle dataset")
+        for g in group_sizes:
+            delta = final(f"chunk-wise g={g}") - base
+            result.note(
+                f"final top-1 delta (chunk-wise g={g} vs full shuffle): "
+                f"{delta:+.3f}"
+            )
+        result.note("paper: chunk-wise shuffle matches full-shuffle "
+                    "accuracy and convergence for adequate group sizes")
+    return result
+
+
+# =========================================================== Fig 14 / 15
+def _training_comparison(
+    models: Sequence[str],
+    epochs: int,
+    n_files: int,
+    file_size: int,
+    batch_size: int,
+    n_nodes: int = 4,
+    io_workers: int = 8,
+    group_size: int = 4,
+    lustre_contention: float = 8.0,
+):
+    """Shared Fig 14/15 machinery: run each model on Lustre and
+    DIESEL-FUSE, returning {model: {system: TrainingResult}}.
+
+    ``lustre_contention`` multiplies the Lustre OSS per-op cost to model
+    the shared production cluster the paper measures on (\u00a72.1: "many
+    training tasks are running concurrently"); the dedicated-per-task
+    DIESEL cache is immune to it by design, which is the point of Fig 14.
+
+    Per-iteration compute is scaled by ``batch_size / 256`` so the
+    per-*file* compute budget — and hence the I/O demand rate the storage
+    must sustain — matches the paper's batch-256 jobs.
+    """
+    from dataclasses import replace as dc_replace
+
+    payload = b"\x11" * file_size
+    files = {f"/im/f{i:06d}.jpg": payload for i in range(n_files)}
+    out: Dict[str, Dict[str, object]] = {}
+    for model_name in models:
+        profile = dc_replace(
+            MODEL_ZOO[model_name],
+            compute_s=MODEL_ZOO[model_name].compute_s * batch_size / 256,
+        )
+        out[model_name] = {}
+
+        # --- Lustre under background tenant contention ---
+        tb = make_testbed(n_compute=n_nodes)
+        fs = add_lustre(tb)
+        fs.oss.per_op_s *= lustre_contention
+        bulk_load_lustre(tb, files)
+        reader = LustreReader(fs, tb.compute_nodes[0], list(files))
+        out[model_name]["lustre"] = tb.run(
+            run_training(tb.env, reader, profile, epochs=epochs,
+                         batch_size=batch_size, io_workers=io_workers,
+                         model_name=model_name)
+        )
+
+        # --- DIESEL-FUSE, chunk-wise shuffle ---
+        tb = make_testbed(n_compute=n_nodes)
+        add_diesel(tb)
+        bulk_load_diesel(tb, "im", files, chunk_size=4 * MB)
+        client = diesel_client_with_snapshot(
+            tb, "im", tb.compute_nodes[0], "trainer",
+            config=DieselConfig(shuffle_group_size=group_size),
+        )
+        client.enable_shuffle(group_size=group_size)
+        mount = FuseMount([client], tb.cal)
+        reader = FuseReader(mount, chunk_wise=True)
+        out[model_name]["diesel-fuse"] = tb.run(
+            run_training(tb.env, reader, profile, epochs=epochs,
+                         batch_size=batch_size, io_workers=io_workers,
+                         model_name=model_name)
+        )
+    return out
+
+
+def fig14_data_access_time(
+    models: Sequence[str] = ("alexnet", "vgg11", "resnet18", "resnet50"),
+    epochs: int = 3,
+    n_files: int = 1_500,
+    file_size: int = 110 * KB,
+    batch_size: int = 32,
+) -> ExperimentResult:
+    """Fig 14: per-iteration data access time, Lustre vs DIESEL-FUSE.
+
+    "Data access time" is what the dataloader's own instrumentation
+    reports: the wall time to fetch one mini-batch (shuffle time shows up
+    as the epoch-start spike).  The paper's headline: DIESEL-FUSE's
+    access time is about half of Lustre's on every model.
+    """
+    result = ExperimentResult("per-iteration data access time", "Fig 14")
+    with timer(result):
+        runs = _training_comparison(models, epochs, n_files, file_size,
+                                    batch_size)
+        for model_name, by_system in runs.items():
+            for system, tr in by_system.items():
+                first_iters = [e[0] for e in tr.epoch_data_times()]
+                result.add(
+                    model=model_name,
+                    system=system,
+                    mean_fetch_s=tr.mean_fetch_time(),
+                    mean_stall_s=tr.mean_data_time(),
+                    epoch_start_spike_s=float(np.mean(first_iters)),
+                )
+        for model_name in models:
+            lus = result.one(model=model_name, system="lustre")
+            dfu = result.one(model=model_name, system="diesel-fuse")
+            result.note(
+                f"{model_name}: DIESEL-FUSE batch fetch = "
+                f"{dfu['mean_fetch_s'] / lus['mean_fetch_s']:.2f}x Lustre "
+                f"(paper: ~0.5x)"
+            )
+    return result
+
+
+def fig15_training_time(
+    models: Sequence[str] = ("alexnet", "vgg11", "resnet18", "resnet50"),
+    epochs: int = 3,
+    n_files: int = 1_500,
+    file_size: int = 110 * KB,
+    batch_size: int = 32,
+) -> ExperimentResult:
+    """Fig 15: normalized total training time, DIESEL-FUSE vs Lustre.
+
+    Projects a full 90-epoch ImageNet-1K job from the measured
+    steady-state per-iteration costs: per-iteration IO time is the
+    unhidden stall plus the amortized epoch-start spike, total time is
+    compute + IO (\u00a76.6 arithmetic).
+    """
+    result = ExperimentResult("normalized total training time", "Fig 15")
+    with timer(result):
+        runs = _training_comparison(models, epochs, n_files, file_size,
+                                    batch_size, lustre_contention=12.0)
+        from repro.dlt.models import TrainingJob, model_profile
+
+        for model_name, by_system in runs.items():
+            job = TrainingJob(model_profile(model_name),
+                              n_files=1_281_167, batch_size=256, epochs=90)
+            # Project the 90-epoch job from measured epoch wall times:
+            # per-file wall × full dataset size × 90 epochs.
+            totals, ios = {}, {}
+            for system, tr in by_system.items():
+                per_file_wall = float(np.mean(tr.epoch_walls)) / n_files
+                totals[system] = per_file_wall * job.n_files * job.epochs
+                per_file_compute = tr.total_compute_time() / (
+                    len(tr.timings) * batch_size
+                )
+                ios[system] = (
+                    (per_file_wall - per_file_compute)
+                    * job.n_files * job.epochs
+                )
+            result.add(
+                model=model_name,
+                lustre_total_h=totals["lustre"] / 3600,
+                diesel_total_h=totals["diesel-fuse"] / 3600,
+                normalized_total=totals["diesel-fuse"] / totals["lustre"],
+                io_reduction=(
+                    1 - ios["diesel-fuse"] / ios["lustre"]
+                    if ios["lustre"] > 0 else 0.0
+                ),
+                total_reduction=1 - totals["diesel-fuse"] / totals["lustre"],
+            )
+        result.note("paper: IO time reduced 51-58%, total time 15-27% "
+                    "(total 37-66h on Lustre -> 29-57h)")
+    return result
+
+
+#: Registry used by the CLI-style runner and the EXPERIMENTS.md generator.
+ALL_EXPERIMENTS = {
+    "table2": table2_read_bandwidth,
+    "fig6": fig6_cache_degradation,
+    "fig9": fig9_write_throughput,
+    "fig10a": fig10a_metadata_scaling,
+    "fig10b": fig10b_snapshot_scaling,
+    "fig10c": fig10c_ls_elapsed,
+    "fig11a": fig11a_read_scaling,
+    "fig11b": fig11b_cache_recovery,
+    "fig12": fig12_shuffle_bandwidth,
+    "fig13": fig13_shuffle_accuracy,
+    "fig14": fig14_data_access_time,
+    "fig15": fig15_training_time,
+}

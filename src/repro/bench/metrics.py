@@ -1,0 +1,91 @@
+"""Post-run utilization and traffic metrics for a testbed.
+
+Experiments report rates; these helpers answer *why* — which station was
+the bottleneck.  All values derive from the cumulative counters the
+components already keep (device busy time, endpoint service time, fabric
+bytes), evaluated against the simulation clock.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.cluster.devices import Device
+from repro.rpc.endpoint import RpcEndpoint
+
+
+def device_utilization(device: Device, now: float) -> float:
+    """Busy fraction of the device's service capacity since t=0.
+
+    1.0 means every service slot was occupied the whole run — the
+    station was the bottleneck.
+    """
+    if now <= 0:
+        return 0.0
+    capacity_seconds = now * device._station.capacity
+    return min(1.0, device.stats.busy_time / capacity_seconds)
+
+
+def endpoint_utilization(endpoint: RpcEndpoint, now: float) -> float:
+    """Busy fraction of the endpoint's worker pool since t=0."""
+    if now <= 0:
+        return 0.0
+    capacity_seconds = now * endpoint._pool.capacity
+    return min(1.0, endpoint.stats.busy_time / capacity_seconds)
+
+
+def testbed_metrics(tb) -> Dict[str, Any]:
+    """One summary dict for a :class:`repro.bench.setups.Testbed` run."""
+    now = tb.env.now
+    out: Dict[str, Any] = {
+        "sim_time_s": now,
+        "ssd_pool_utilization": device_utilization(tb.ssd_pool, now),
+        "fabric_transfers": tb.fabric.stats.transfers,
+        "fabric_bytes": tb.fabric.stats.bytes_moved,
+    }
+    if tb.lustre is not None:
+        out["lustre_oss_utilization"] = device_utilization(tb.lustre.oss, now)
+        out["lustre_mds_calls"] = sum(
+            m.stats.calls for m in tb.lustre._mdts
+        )
+        out["lustre_mds_utilization"] = max(
+            (endpoint_utilization(m, now) for m in tb.lustre._mdts),
+            default=0.0,
+        )
+    if tb.memcached is not None:
+        out["memcached_calls"] = sum(
+            s.endpoint.stats.calls for s in tb.memcached.servers.values()
+        )
+        out["memcached_utilization"] = max(
+            (endpoint_utilization(s.endpoint, now)
+             for s in tb.memcached.servers.values()),
+            default=0.0,
+        )
+    if tb.diesel_servers:
+        out["diesel_data_calls"] = sum(
+            s.endpoint.stats.calls for s in tb.diesel_servers
+        )
+        out["diesel_meta_calls"] = sum(
+            s.meta_endpoint.stats.calls for s in tb.diesel_servers
+        )
+        out["diesel_meta_utilization"] = max(
+            endpoint_utilization(s.meta_endpoint, now)
+            for s in tb.diesel_servers
+        )
+    if tb.kv is not None:
+        out["kv_pairs"] = tb.kv.total_keys()
+        out["kv_rpc_calls"] = sum(
+            i.endpoint.stats.calls for i in tb.kv.instances
+        )
+    return out
+
+
+def bottleneck(tb) -> str:
+    """Name of the most utilized station — the likely rate limiter."""
+    metrics = testbed_metrics(tb)
+    candidates = {
+        k: v for k, v in metrics.items() if k.endswith("_utilization")
+    }
+    if not candidates:
+        return "none"
+    return max(candidates, key=candidates.get).removesuffix("_utilization")

@@ -1,0 +1,78 @@
+"""Plain-text table rendering and paper-vs-measured shape checks."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from repro.bench.harness import ExperimentResult
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Dict[str, Any]], title: str = "") -> str:
+    """Render dict-rows as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    cells = [[_fmt(row.get(c, "")) for c in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in cells)) for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(w) for col, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for r in cells:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_result(result: ExperimentResult) -> str:
+    """Full report block for one experiment."""
+    parts = [
+        f"== {result.name} ({result.paper_ref}) ==",
+        format_table(result.rows),
+    ]
+    for note in result.notes:
+        parts.append(f"note: {note}")
+    if result.wall_seconds:
+        parts.append(f"(ran in {result.wall_seconds:.2f}s wall)")
+    return "\n".join(parts)
+
+
+def shape_check(
+    label: str, measured: float, expected: float, rel_tol: float
+) -> Dict[str, Any]:
+    """One paper-vs-measured comparison row with a pass/fail verdict."""
+    if expected == 0:
+        ok = abs(measured) <= rel_tol
+    else:
+        ok = abs(measured - expected) / abs(expected) <= rel_tol
+    return {
+        "check": label,
+        "paper": expected,
+        "measured": measured,
+        "tolerance": f"±{rel_tol:.0%}",
+        "ok": "PASS" if ok else "FAIL",
+    }
+
+
+def ratio(a: float, b: float) -> float:
+    """Safe a/b for speedup reporting."""
+    return a / b if b else float("inf")

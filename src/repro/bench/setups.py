@@ -1,0 +1,223 @@
+"""Shared experiment testbed builders.
+
+Each experiment wires the systems it compares onto one simulated fabric
+mirroring the paper's testbed (Table 4).  Builders also provide
+*zero-cost population* helpers: experiment setup (writing the fixture
+dataset) happens outside measured time, exactly like the paper's data
+preparation step, so only the measured phase spends simulated time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines.lustre import LustreFS
+from repro.baselines.memcached import MemcachedCluster
+from repro.calibration import Calibration, DEFAULT
+from repro.core.chunk import Chunk
+from repro.core.chunk_builder import ChunkBuilder
+from repro.core.client import DieselClient
+from repro.core.config import DieselConfig
+from repro.core.server import DieselServer, object_key
+from repro.core.snapshot import SnapshotIndex
+from repro.cluster.devices import Device
+from repro.cluster.network import NetworkFabric
+from repro.cluster.node import Node
+from repro.kvstore import KVInstance, ShardedKV
+from repro.objectstore import ObjectStore
+from repro.sim import Environment
+from repro.util.ids import ChunkIdGenerator
+from repro.workloads.datasets import DatasetSpec
+from repro.workloads.filegen import generate_file
+
+
+@dataclass
+class Testbed:
+    """One wired experiment environment."""
+
+    __test__ = False  # not a pytest test class despite the name
+
+    env: Environment
+    fabric: NetworkFabric
+    cal: Calibration
+    storage_nodes: List[Node]
+    compute_nodes: List[Node]
+    ssd_pool: Device
+    lustre: Optional[LustreFS] = None
+    memcached: Optional[MemcachedCluster] = None
+    kv: Optional[ShardedKV] = None
+    store: Optional[object] = None  # ObjectStore or TieredStore
+    diesel_servers: List[DieselServer] = field(default_factory=list)
+    config_store: Optional[object] = None  # core.config.ConfigStore
+
+    @property
+    def diesel(self) -> DieselServer:
+        return self.diesel_servers[0]
+
+    def run(self, gen):
+        proc = self.env.process(gen)
+        return self.env.run(until=proc)
+
+    def run_all(self, gens) -> None:
+        procs = [self.env.process(g) for g in gens]
+        self.env.run(until=self.env.all_of(procs))
+
+
+def make_testbed(
+    n_compute: int = 10,
+    n_storage: int = 6,
+    cal: Calibration = DEFAULT,
+) -> Testbed:
+    env = Environment()
+    fabric = NetworkFabric(env, cal.network)
+    storage = [
+        fabric.add_node(Node(env, f"storage{i}", nic_channels=8))
+        for i in range(n_storage)
+    ]
+    compute = [
+        fabric.add_node(Node(env, f"compute{i}", nic_channels=8))
+        for i in range(n_compute)
+    ]
+    ssd = Device(
+        env, "ssd-pool", cal.nvme.per_op_s, cal.nvme.bandwidth_bps,
+        cal.nvme.queue_depth,
+    )
+    return Testbed(env, fabric, cal, storage, compute, ssd)
+
+
+def add_lustre(tb: Testbed, n_mds: int = 1, dne: str = "none") -> LustreFS:
+    cal = tb.cal
+    oss = Device(
+        tb.env, "lustre-oss", cal.lustre.oss_per_op_s,
+        cal.lustre.oss_bandwidth_bps, queue_depth=cal.lustre.oss_queue_depth,
+    )
+    mds_nodes = tb.storage_nodes[:n_mds]
+    tb.lustre = LustreFS(tb.env, tb.fabric, mds_nodes, oss,
+                         profile=cal.lustre, dne=dne)
+    return tb.lustre
+
+
+def add_memcached(tb: Testbed, n_servers: Optional[int] = None) -> MemcachedCluster:
+    nodes = tb.compute_nodes[: n_servers or len(tb.compute_nodes)]
+    tb.memcached = MemcachedCluster(tb.env, tb.fabric, nodes, profile=tb.cal.memcached)
+    return tb.memcached
+
+
+def add_diesel(
+    tb: Testbed,
+    n_servers: int = 1,
+    n_kv: int = 16,
+    config: DieselConfig | None = None,
+    tiered: bool = False,
+    ssd_cache_bytes: float = 64 * 2**30,
+) -> List[DieselServer]:
+    """Deploy DIESEL onto the testbed (Fig 2).
+
+    ``tiered=True`` puts chunks on the HDD pool with the SSD pool as the
+    server-side cache tier (the Fig 4 "fast object-storage" path);
+    otherwise chunks live directly on the SSD pool.  The deployment's
+    configuration is published through an ETCD-like config store, which
+    servers read at startup.
+    """
+    from repro.cluster.devices import Device as _Device
+    from repro.core.config import ConfigStore
+    from repro.objectstore import TieredStore
+
+    cal = tb.cal
+    config = config or DieselConfig()
+    # ETCD (Fig 2): system configuration all components read at startup.
+    tb.config_store = ConfigStore()
+    tb.config_store.put("diesel/config", config)
+    tb.config_store.put("diesel/n_servers", n_servers)
+    # Redis cluster: 16 instances across four storage nodes (Table 4).
+    instances = []
+    for i in range(n_kv):
+        node = tb.storage_nodes[i % len(tb.storage_nodes)]
+        instances.append(
+            KVInstance(tb.env, tb.fabric, node, f"redis{i}",
+                       qps=cal.redis.cluster_qps / n_kv)
+        )
+    tb.kv = ShardedKV(instances)
+    if tiered:
+        hdd = _Device(tb.env, "hdd-pool", cal.hdd.per_op_s,
+                      cal.hdd.bandwidth_bps, cal.hdd.queue_depth)
+        tb.store = TieredStore(tb.ssd_pool, hdd,
+                               ssd_capacity_bytes=ssd_cache_bytes)
+    else:
+        tb.store = ObjectStore(tb.ssd_pool)
+    tb.diesel_servers = [
+        DieselServer(
+            tb.env, tb.fabric, tb.storage_nodes[i % len(tb.storage_nodes)],
+            tb.kv, tb.store,
+            config=tb.config_store.get("diesel/config"),
+            calibration=cal, name=f"diesel{i}",
+        )
+        for i in range(n_servers)
+    ]
+    return tb.diesel_servers
+
+
+# ---------------------------------------------------------------- population
+def dataset_files(
+    spec: DatasetSpec, content: bool = False, seed: int = 0
+) -> Dict[str, bytes | int]:
+    """path → payload (content=True) or path → size (content=False)."""
+    if content:
+        return {
+            path: generate_file(path, size, seed)
+            for path, size in spec.iter_files()
+        }
+    return dict(spec.iter_files())
+
+
+def bulk_load_diesel(
+    tb: Testbed,
+    dataset: str,
+    files: Dict[str, bytes],
+    chunk_size: int = 4 * 1024 * 1024,
+) -> List[Chunk]:
+    """Populate DIESEL outside measured time (fixture setup)."""
+    if tb.store is None:
+        raise RuntimeError("call add_diesel() first")
+    builder = ChunkBuilder(
+        ChunkIdGenerator(clock=lambda: tb.env.now), chunk_size=chunk_size
+    )
+    chunks = builder.build_all(files.items())
+    server = tb.diesel
+    for chunk in chunks:
+        tb.store.load([(object_key(dataset, chunk.chunk_id), chunk.encode())])
+        server.ingest_metadata(dataset, chunk)
+    return chunks
+
+
+def bulk_load_lustre(tb: Testbed, files: Dict[str, bytes]) -> None:
+    if tb.lustre is None:
+        raise RuntimeError("call add_lustre() first")
+    for path, data in files.items():
+        tb.lustre.ns.create_file(path, data)
+
+
+def bulk_load_memcached(tb: Testbed, files: Dict[str, bytes]) -> None:
+    if tb.memcached is None:
+        raise RuntimeError("call add_memcached() first")
+    for path, data in files.items():
+        tb.memcached.server_for(path)._data[path] = data
+
+
+def diesel_client_with_snapshot(
+    tb: Testbed,
+    dataset: str,
+    node: Node,
+    name: str,
+    rank: int = 0,
+    config: DieselConfig | None = None,
+) -> DieselClient:
+    """A client with the dataset snapshot pre-loaded (zero-cost fixture)."""
+    client = DieselClient(
+        tb.env, node, tb.diesel_servers, dataset,
+        name=name, rank=rank, config=config, calibration=tb.cal,
+    )
+    snapshot = tb.diesel.build_snapshot(dataset)
+    client._index = SnapshotIndex(snapshot)
+    return client

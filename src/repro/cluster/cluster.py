@@ -1,0 +1,108 @@
+"""Cluster builder: the paper's testbed topology (Table 4) as a spec.
+
+A :class:`Cluster` owns the DES environment, the network fabric, the
+storage machines (with their aggregated NVMe device and an HDD tier for
+the server-cache experiments) and the test machines that run DIESEL
+clients and training jobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.calibration import Calibration, DEFAULT
+from repro.cluster.devices import Device
+from repro.cluster.failure import FailureInjector
+from repro.cluster.network import NetworkFabric
+from repro.cluster.node import Node
+from repro.sim.engine import Environment
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Topology parameters.  Defaults mirror the paper's Table 4."""
+
+    storage_nodes: int = 6
+    compute_nodes: int = 10
+    storage_memory_bytes: float = 512 * 2**30
+    compute_memory_bytes: float = 256 * 2**30
+    #: NVMe SSDs per storage machine (6 × 3.8 TB in the paper).
+    ssds_per_storage_node: int = 6
+    nic_channels: int = 8
+    calibration: Calibration = field(default_factory=lambda: DEFAULT)
+
+    def __post_init__(self) -> None:
+        if self.storage_nodes < 1 or self.compute_nodes < 1:
+            raise ValueError("cluster needs at least one node of each kind")
+
+
+class Cluster:
+    """A built topology ready for services to attach to."""
+
+    def __init__(self, spec: ClusterSpec | None = None, env: Environment | None = None):
+        self.spec = spec or ClusterSpec()
+        self.env = env or Environment()
+        cal = self.spec.calibration
+        self.fabric = NetworkFabric(self.env, cal.network)
+        self.failures = FailureInjector(self.env)
+
+        self.storage_nodes: List[Node] = []
+        for i in range(self.spec.storage_nodes):
+            node = Node(
+                self.env,
+                f"storage{i}",
+                memory_bytes=self.spec.storage_memory_bytes,
+                nic_bandwidth_bps=cal.network.bandwidth_bps,
+                nic_channels=self.spec.nic_channels,
+            )
+            self.fabric.add_node(node)
+            self.storage_nodes.append(node)
+
+        self.compute_nodes: List[Node] = []
+        for i in range(self.spec.compute_nodes):
+            node = Node(
+                self.env,
+                f"compute{i}",
+                memory_bytes=self.spec.compute_memory_bytes,
+                nic_bandwidth_bps=cal.network.bandwidth_bps,
+                nic_channels=self.spec.nic_channels,
+            )
+            self.fabric.add_node(node)
+            self.compute_nodes.append(node)
+
+        # The storage machines' SSDs behave as one aggregated NVMe pool for
+        # chunk I/O: per-stream service matches Table 2; the pool's queue
+        # depth scales with machine and SSD count so aggregate concurrency
+        # reflects the six-machine array.
+        nvme_depth = cal.nvme.queue_depth
+        self.ssd_pool = Device(
+            self.env,
+            "ssd-pool",
+            per_op_s=cal.nvme.per_op_s,
+            bandwidth_bps=cal.nvme.bandwidth_bps,
+            queue_depth=nvme_depth,
+        )
+        self.hdd_pool = Device(
+            self.env,
+            "hdd-pool",
+            per_op_s=cal.hdd.per_op_s,
+            bandwidth_bps=cal.hdd.bandwidth_bps,
+            queue_depth=cal.hdd.queue_depth,
+        )
+
+    @property
+    def calibration(self) -> Calibration:
+        return self.spec.calibration
+
+    def compute(self, idx: int) -> Node:
+        return self.compute_nodes[idx]
+
+    def storage(self, idx: int) -> Node:
+        return self.storage_nodes[idx]
+
+    def __repr__(self) -> str:
+        return (
+            f"Cluster({self.spec.storage_nodes} storage + "
+            f"{self.spec.compute_nodes} compute nodes)"
+        )

@@ -1,0 +1,252 @@
+"""Self-contained data chunk layout (paper §4.1, Fig 5a).
+
+Small files are compacted into chunks of ≥4 MB.  Each chunk is
+*self-contained*: its header carries everything needed to reconstruct all
+key-value metadata pairs, which is what makes metadata recovery possible
+by scanning chunks in ID order (§4.1.2).
+
+Binary layout::
+
+    magic            4  bytes  b"DSL1"
+    chunk id        16  bytes  (Table 1 layout)
+    file count       4  bytes  uint32 BE
+    deletion bitmap  ceil(n/8) bytes (at-write state, normally all clear)
+    file table       n entries:
+        name length  2  bytes  uint16 BE
+        name         var       UTF-8 full path
+        offset       8  bytes  uint64 BE (into the data section)
+        length       8  bytes  uint64 BE
+        crc32        4  bytes  payload checksum
+    header crc       4  bytes  crc32 of all bytes above
+    data section     concatenated file payloads
+
+The header checksum detects torn/corrupt chunks during recovery scans;
+per-file checksums let clients verify payload integrity end to end.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import ChunkChecksumError, ChunkFormatError
+from repro.util.bitmap import Bitmap
+from repro.util.ids import CHUNK_ID_BYTES, ChunkId
+from repro.util.pathutil import normalize
+
+MAGIC = b"DSL1"
+#: Default minimum chunk payload size (§4: "large data chunks (>= 4MB)").
+DEFAULT_CHUNK_SIZE = 4 * 1024 * 1024
+
+_U16 = struct.Struct(">H")
+_U32 = struct.Struct(">I")
+_ENTRY_TAIL = struct.Struct(">QQI")  # offset, length, crc32
+
+
+@dataclass(frozen=True)
+class ChunkFile:
+    """One file's entry in a chunk's file table."""
+
+    path: str
+    offset: int
+    length: int
+    crc32: int
+
+    def __post_init__(self) -> None:
+        if self.offset < 0 or self.length < 0:
+            raise ChunkFormatError(
+                f"negative offset/length for {self.path!r}: "
+                f"{self.offset}/{self.length}"
+            )
+
+
+class Chunk:
+    """A decoded chunk: file table + data section, with integrity checks."""
+
+    def __init__(
+        self,
+        chunk_id: ChunkId,
+        files: Sequence[ChunkFile],
+        data: bytes,
+        deletion_bitmap: Bitmap | None = None,
+    ) -> None:
+        self.chunk_id = chunk_id
+        self.files = tuple(files)
+        self.data = bytes(data)
+        self.deletion_bitmap = (
+            deletion_bitmap if deletion_bitmap is not None else Bitmap(len(files))
+        )
+        if len(self.deletion_bitmap) != len(self.files):
+            raise ChunkFormatError(
+                f"bitmap size {len(self.deletion_bitmap)} != file count "
+                f"{len(self.files)}"
+            )
+        self._by_path = {f.path: i for i, f in enumerate(self.files)}
+        if len(self._by_path) != len(self.files):
+            raise ChunkFormatError("duplicate paths within one chunk")
+        for f in self.files:
+            if f.offset + f.length > len(self.data):
+                raise ChunkFormatError(
+                    f"file {f.path!r} extends past data section "
+                    f"({f.offset}+{f.length} > {len(self.data)})"
+                )
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def build(
+        cls, chunk_id: ChunkId, items: Iterable[tuple[str, bytes]]
+    ) -> "Chunk":
+        """Pack (path, payload) pairs into a chunk."""
+        files: list[ChunkFile] = []
+        parts: list[bytes] = []
+        offset = 0
+        for path, payload in items:
+            path = normalize(path)
+            payload = bytes(payload)
+            files.append(
+                ChunkFile(path, offset, len(payload), zlib.crc32(payload))
+            )
+            parts.append(payload)
+            offset += len(payload)
+        if not files:
+            raise ChunkFormatError("a chunk must contain at least one file")
+        return cls(chunk_id, files, b"".join(parts))
+
+    # -- queries --------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.files)
+
+    def __contains__(self, path: str) -> bool:
+        return path in self._by_path
+
+    @property
+    def paths(self) -> tuple[str, ...]:
+        return tuple(f.path for f in self.files)
+
+    def index_of(self, path: str) -> int:
+        try:
+            return self._by_path[path]
+        except KeyError:
+            raise ChunkFormatError(f"path not in chunk: {path!r}") from None
+
+    def entry(self, path: str) -> ChunkFile:
+        return self.files[self.index_of(path)]
+
+    def payload(self, path: str, verify: bool = True) -> bytes:
+        """Extract one file's bytes, optionally verifying its checksum."""
+        f = self.entry(path)
+        raw = self.data[f.offset : f.offset + f.length]
+        if verify and zlib.crc32(raw) != f.crc32:
+            raise ChunkChecksumError(
+                f"payload checksum mismatch for {f.path!r} in chunk "
+                f"{self.chunk_id.encode()}"
+            )
+        return raw
+
+    def is_deleted(self, path: str) -> bool:
+        return self.deletion_bitmap.get(self.index_of(path))
+
+    def live_files(self) -> list[ChunkFile]:
+        return [
+            f
+            for i, f in enumerate(self.files)
+            if not self.deletion_bitmap.get(i)
+        ]
+
+    @property
+    def deleted_count(self) -> int:
+        return self.deletion_bitmap.count()
+
+    @property
+    def data_size(self) -> int:
+        return len(self.data)
+
+    def live_bytes(self) -> int:
+        return sum(f.length for f in self.live_files())
+
+    # -- codec ----------------------------------------------------------------
+    def header_bytes(self) -> bytes:
+        """Encode the header (everything before the data section)."""
+        out = bytearray()
+        out += MAGIC
+        out += self.chunk_id.raw
+        out += _U32.pack(len(self.files))
+        out += self.deletion_bitmap.to_bytes()
+        for f in self.files:
+            name = f.path.encode("utf-8")
+            if len(name) > 0xFFFF:
+                raise ChunkFormatError(f"path too long: {f.path!r}")
+            out += _U16.pack(len(name))
+            out += name
+            out += _ENTRY_TAIL.pack(f.offset, f.length, f.crc32)
+        out += _U32.pack(zlib.crc32(bytes(out)))
+        return bytes(out)
+
+    def encode(self) -> bytes:
+        """Serialize the whole chunk (header + data section)."""
+        return self.header_bytes() + self.data
+
+    @classmethod
+    def decode_header(cls, blob: bytes) -> tuple["Chunk", int]:
+        """Parse a header from ``blob``; returns (chunk-with-empty-data,
+        data_offset).  The returned chunk has ``data=b''`` — use
+        :meth:`decode` for the full object.  Recovery uses this to rebuild
+        metadata without touching payload bytes.
+        """
+        view = memoryview(blob)
+        pos = 0
+
+        def take(n: int) -> memoryview:
+            nonlocal pos
+            if pos + n > len(view):
+                raise ChunkFormatError(
+                    f"truncated chunk: need {pos + n} bytes, have {len(view)}"
+                )
+            piece = view[pos : pos + n]
+            pos += n
+            return piece
+
+        if bytes(take(4)) != MAGIC:
+            raise ChunkFormatError("bad chunk magic")
+        chunk_id = ChunkId(bytes(take(CHUNK_ID_BYTES)))
+        (nfiles,) = _U32.unpack(take(4))
+        bitmap = Bitmap.from_bytes(bytes(take((nfiles + 7) // 8)), nfiles)
+        files: list[ChunkFile] = []
+        for _ in range(nfiles):
+            (name_len,) = _U16.unpack(take(2))
+            name = bytes(take(name_len)).decode("utf-8")
+            offset, length, crc = _ENTRY_TAIL.unpack(take(_ENTRY_TAIL.size))
+            files.append(ChunkFile(name, offset, length, crc))
+        header_end = pos
+        (stored_crc,) = _U32.unpack(take(4))
+        if zlib.crc32(bytes(view[:header_end])) != stored_crc:
+            raise ChunkChecksumError(
+                f"header checksum mismatch in chunk {chunk_id.encode()}"
+            )
+        data_offset = pos
+        shell = cls.__new__(cls)
+        shell.chunk_id = chunk_id
+        shell.files = tuple(files)
+        shell.data = b""
+        shell.deletion_bitmap = bitmap
+        shell._by_path = {f.path: i for i, f in enumerate(files)}
+        return shell, data_offset
+
+    @classmethod
+    def decode(cls, blob: bytes) -> "Chunk":
+        """Parse a full chunk, validating structure and header checksum."""
+        shell, data_offset = cls.decode_header(blob)
+        return cls(
+            shell.chunk_id,
+            shell.files,
+            blob[data_offset:],
+            shell.deletion_bitmap,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Chunk({self.chunk_id.encode()}, files={len(self.files)}, "
+            f"bytes={len(self.data)})"
+        )

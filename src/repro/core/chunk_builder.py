@@ -1,0 +1,93 @@
+"""Client-side aggregation of small files into chunks (write flow, Fig 3).
+
+``DL_put`` appends files to the builder; whenever the buffered payload
+reaches the chunk size the builder seals a chunk and hands it to a sink
+(normally the DIESEL server's ingest RPC).  ``DL_flush`` seals whatever
+remains.  Aggregation is what turns millions of per-file operations into
+a few thousand large object writes — the source of the Fig 9 write win.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.chunk import DEFAULT_CHUNK_SIZE, Chunk
+from repro.errors import DieselError
+from repro.util.ids import ChunkIdGenerator
+from repro.util.pathutil import normalize
+
+
+class ChunkBuilder:
+    """Accumulates (path, payload) pairs and seals chunks of ≥ chunk_size."""
+
+    def __init__(
+        self,
+        id_generator: ChunkIdGenerator,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        on_seal: Optional[Callable[[Chunk], None]] = None,
+    ) -> None:
+        if chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        self._ids = id_generator
+        self.chunk_size = chunk_size
+        self._on_seal = on_seal
+        self._pending: list[tuple[str, bytes]] = []
+        self._pending_paths: set[str] = set()
+        self._pending_bytes = 0
+        self.sealed_count = 0
+
+    @property
+    def pending_files(self) -> int:
+        return len(self._pending)
+
+    @property
+    def pending_bytes(self) -> int:
+        return self._pending_bytes
+
+    def add(self, path: str, payload: bytes) -> Optional[Chunk]:
+        """Buffer one file; returns a sealed chunk when the size threshold
+        is crossed, else None."""
+        path = normalize(path)
+        if path in self._pending_paths:
+            raise DieselError(
+                f"path {path!r} already pending in the current chunk"
+            )
+        payload = bytes(payload)
+        self._pending.append((path, payload))
+        self._pending_paths.add(path)
+        self._pending_bytes += len(payload)
+        if self._pending_bytes >= self.chunk_size:
+            return self._seal()
+        return None
+
+    def flush(self) -> Optional[Chunk]:
+        """Seal any buffered files into a final (possibly small) chunk."""
+        if not self._pending:
+            return None
+        return self._seal()
+
+    def _seal(self) -> Chunk:
+        chunk = Chunk.build(self._ids.next(), self._pending)
+        self._pending = []
+        self._pending_paths = set()
+        self._pending_bytes = 0
+        self.sealed_count += 1
+        if self._on_seal is not None:
+            self._on_seal(chunk)
+        return chunk
+
+    def build_all(
+        self, items, chunk_size: Optional[int] = None
+    ) -> list[Chunk]:
+        """Convenience: pack an iterable of (path, bytes) into chunks."""
+        if chunk_size is not None:
+            self.chunk_size = chunk_size
+        chunks: list[Chunk] = []
+        for path, payload in items:
+            sealed = self.add(path, payload)
+            if sealed is not None:
+                chunks.append(sealed)
+        final = self.flush()
+        if final is not None:
+            chunks.append(final)
+        return chunks

@@ -1,0 +1,508 @@
+"""libDIESEL: the client library (paper Table 3, §5).
+
+Implements the full API surface::
+
+    DL_connect  -> DieselClient(...)          DL_stat
+    DL_put      -> put()                      DL_delete -> delete()
+    DL_flush    -> flush()                    DL_ls     -> ls()
+    DL_get      -> get()                      DL_save_meta / DL_load_meta
+    DL_shuffle  -> enable_shuffle()           DL_close  -> close()
+
+plus the housekeeping functions ``DL_purge`` and ``DL_delete_dataset``.
+All data-path methods are generators that run inside the simulation; the
+:class:`SyncDieselClient` wrapper drives them to completion for scripts
+and examples.
+
+Read resolution order (read flow, Fig 4): local group cache (chunk-wise
+shuffle working set) → task-grained distributed cache → DIESEL server
+(which itself may hit its SSD tier before HDD).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import OrderedDict
+from typing import Any, Dict, Generator, Optional, Sequence
+
+from repro.calibration import Calibration, DEFAULT
+from repro.core.chunk import Chunk
+from repro.core.chunk_builder import ChunkBuilder
+from repro.core.config import DieselConfig
+from repro.core.dist_cache import CacheClient, TaskCache
+from repro.core.meta import FileRecord
+from repro.core.server import DieselServer
+from repro.core.shuffle import EpochPlan, chunkwise_shuffle, full_shuffle
+from repro.core.snapshot import MetadataSnapshot, SnapshotIndex
+from repro.errors import ClosedError, DieselError, StaleSnapshotError
+from repro.cluster.node import Node
+from repro.sim.engine import Environment, Event
+from repro.util.ids import ChunkIdGenerator
+from repro.util.pathutil import normalize
+
+
+def connect(
+    env: Environment,
+    node: Node,
+    servers: Sequence[DieselServer],
+    dataset: str,
+    user: str = "",
+    key: str = "",
+    name: str = "client0",
+    rank: int = 0,
+    config: DieselConfig | None = None,
+    calibration: Calibration = DEFAULT,
+) -> Generator[Event, Any, "DieselClient"]:
+    """DL_connect (Table 3): authenticate and open a client context.
+
+    Credentials are checked against the first server's access table; an
+    open deployment (no keys configured) accepts anything.  Returns the
+    connected :class:`DieselClient`.
+    """
+    from repro.errors import AuthError
+
+    if not servers:
+        raise DieselError("DL_connect needs at least one DIESEL server")
+    ok = yield from servers[0].call(node, "auth", user, key)
+    if not ok:
+        raise AuthError(user)
+    return DieselClient(
+        env, node, servers, dataset,
+        name=name, rank=rank, config=config, calibration=calibration,
+    )
+
+
+class ClientStats:
+    __slots__ = (
+        "puts", "gets", "local_hits", "cache_hits", "server_reads",
+        "chunks_sent", "bytes_written", "bytes_read",
+    )
+
+    def __init__(self) -> None:
+        self.puts = 0
+        self.gets = 0
+        self.local_hits = 0
+        self.cache_hits = 0
+        self.server_reads = 0
+        self.chunks_sent = 0
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+
+class DieselClient:
+    """One libDIESEL context (the result of ``DL_connect``)."""
+
+    def __init__(
+        self,
+        env: Environment,
+        node: Node,
+        servers: Sequence[DieselServer],
+        dataset: str,
+        name: str = "client0",
+        rank: int = 0,
+        config: DieselConfig | None = None,
+        calibration: Calibration = DEFAULT,
+    ) -> None:
+        if not servers:
+            raise DieselError("DL_connect needs at least one DIESEL server")
+        self.env = env
+        self.node = node
+        self.servers = list(servers)
+        self.dataset = dataset
+        self.name = name
+        self.rank = rank
+        self.config = config or DieselConfig()
+        self.cal = calibration
+        self.stats = ClientStats()
+        self._rr = 0
+        self._closed = False
+        self._builder = ChunkBuilder(
+            ChunkIdGenerator(clock=lambda: env.now),
+            chunk_size=self.config.chunk_size,
+        )
+        self._index: Optional[SnapshotIndex] = None
+        self._cache: Optional[TaskCache] = None
+        self._cache_identity: Optional[CacheClient] = None
+        # Chunk-wise shuffle state.
+        self._shuffle_enabled = False
+        self._shuffle_group_size = self.config.shuffle_group_size
+        self._group_cache: "OrderedDict[str, Chunk]" = OrderedDict()
+        #: In-flight chunk fetches (single-flight): encoded cid -> Event.
+        self._inflight: Dict[str, Any] = {}
+        self._epoch = 0
+
+    # --------------------------------------------------------------- helpers
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ClosedError("client context is closed (DL_close was called)")
+
+    def _server(self) -> DieselServer:
+        """Round-robin over DIESEL servers (they are stateless, §4.1.1)."""
+        s = self.servers[self._rr % len(self.servers)]
+        self._rr += 1
+        return s
+
+    @property
+    def snapshot_loaded(self) -> bool:
+        return self._index is not None
+
+    @property
+    def index(self) -> SnapshotIndex:
+        if self._index is None:
+            raise DieselError("no metadata snapshot loaded (call DL_load_meta)")
+        return self._index
+
+    def as_cache_client(self) -> CacheClient:
+        if self._cache_identity is None:
+            self._cache_identity = CacheClient(self.name, self.node, self.rank)
+        return self._cache_identity
+
+    def attach_cache(self, cache: TaskCache) -> None:
+        """Join a task-grained distributed cache (after its register())."""
+        self._cache = cache
+
+    # -------------------------------------------------------------- DL_put
+    def put(self, path: str, data: bytes) -> Generator[Event, Any, None]:
+        """DL_put: buffer a file; ship a chunk when ≥ chunk_size accrues."""
+        self._check_open()
+        sealed = self._builder.add(path, data)
+        self.stats.puts += 1
+        self.stats.bytes_written += len(data)
+        # Client-side packing cost (copy into the chunk buffer + hashing).
+        yield self.env.timeout(
+            self.cal.diesel.client_put_overhead_s
+            + len(data) * self.cal.diesel.client_put_per_byte_s
+        )
+        if sealed is not None:
+            yield from self._send_chunk(sealed)
+
+    def flush(self) -> Generator[Event, Any, None]:
+        """DL_flush: seal and ship whatever is buffered."""
+        self._check_open()
+        sealed = self._builder.flush()
+        if sealed is not None:
+            yield from self._send_chunk(sealed)
+        else:
+            yield self.env.timeout(0)
+
+    def _send_chunk(self, chunk: Chunk) -> Generator[Event, Any, None]:
+        blob = chunk.encode()
+        yield from self._server().call(
+            self.node,
+            "ingest_chunk",
+            self.dataset,
+            blob,
+            request_bytes=len(blob),
+            response_bytes=32,
+        )
+        self.stats.chunks_sent += 1
+
+    # -------------------------------------------------------------- DL_get
+    def _record_for(self, path: str) -> Optional[FileRecord]:
+        if self._index is not None:
+            return self._index.lookup(path)
+        return None
+
+    def get(self, path: str) -> Generator[Event, Any, bytes]:
+        """DL_get: read one file through the Fig 4 resolution chain."""
+        self._check_open()
+        path = normalize(path)
+        self.stats.gets += 1
+        yield self.env.timeout(self.cal.diesel.api_read_overhead_s)
+        record = self._record_for(path)
+        # 1. Chunk-wise-shuffle working set (client-local memory).
+        if record is not None and self._shuffle_enabled:
+            payload = yield from self._get_via_group_cache(record)
+            self.stats.bytes_read += len(payload)
+            return payload
+        # 2. Task-grained distributed cache (one-hop peer fetch).
+        if record is not None and self._cache is not None:
+            payload = yield from self._cache.read_file(
+                self.as_cache_client(), record
+            )
+            self.stats.cache_hits += 1
+            self.stats.bytes_read += len(payload)
+            return payload
+        # 3. DIESEL server.
+        payload = yield from self._server().call(
+            self.node,
+            "get_file",
+            self.dataset,
+            path,
+            response_bytes=record.length if record else None,
+        )
+        self.stats.server_reads += 1
+        self.stats.bytes_read += len(payload)
+        return payload
+
+    def get_range(
+        self, path: str, offset: int, length: int
+    ) -> Generator[Event, Any, bytes]:
+        """Read ``length`` bytes of a file at ``offset`` (pread semantics).
+
+        Served from the shuffle working set when the chunk is resident;
+        otherwise a server range read (only the requested bytes move).
+        Reads past EOF are clamped like read(2).
+        """
+        self._check_open()
+        path = normalize(path)
+        self.stats.gets += 1
+        yield self.env.timeout(self.cal.diesel.api_read_overhead_s)
+        record = self._record_for(path)
+        if record is not None and self._shuffle_enabled:
+            whole = yield from self._get_via_group_cache(record)
+            piece = whole[offset : offset + length]
+            self.stats.bytes_read += len(piece)
+            return piece
+        piece = yield from self._server().call(
+            self.node,
+            "get_file_range",
+            self.dataset,
+            path,
+            offset,
+            length,
+            response_bytes=min(length, record.length if record else length),
+        )
+        self.stats.server_reads += 1
+        self.stats.bytes_read += len(piece)
+        return piece
+
+    def put_overwrite(self, path: str, data: bytes) -> Generator[Event, Any, None]:
+        """Modify a file: delete the old version, then write the new one
+        (§4.1.1: "DIESEL supports modifying/deleting files by first
+        deleting the old file and then writing a new file").
+
+        The old payload stays as a hole in its chunk until DL_purge.
+        """
+        self._check_open()
+        path = normalize(path)
+        exists = yield from self._server().call(
+            self.node, "exists", self.dataset, path
+        )
+        if exists:
+            yield from self._server().call(
+                self.node, "delete_file", self.dataset, path
+            )
+        yield from self.put(path, data)
+        yield from self.flush()
+
+    def _get_via_group_cache(
+        self, record: FileRecord
+    ) -> Generator[Event, Any, bytes]:
+        """Serve from the per-group chunk working set, fetching whole chunks.
+
+        The cache holds at most ``shuffle_group_size`` chunks: exactly the
+        §4.3 memory bound (group_size × chunk_size), ~2 GB for the paper's
+        ImageNet-1K run vs the 150 GB dataset.
+        """
+        encoded = record.chunk_id.encode()
+        chunk = self._group_cache.get(encoded)
+        if chunk is None:
+            inflight = self._inflight.get(encoded)
+            if inflight is not None:
+                # Another I/O thread of this mount is already fetching the
+                # chunk (single-flight); wait for it instead of duplicating
+                # the 4MB read.
+                yield inflight
+                chunk = self._group_cache.get(encoded)
+            if chunk is None:
+                done = self.env.event()
+                self._inflight[encoded] = done
+                try:
+                    blob = yield from self._server().call(
+                        self.node,
+                        "get_chunk",
+                        self.dataset,
+                        encoded,
+                        response_bytes=None,
+                    )
+                    chunk = Chunk.decode(blob)
+                    while len(self._group_cache) >= self._shuffle_group_size:
+                        self._group_cache.popitem(last=False)
+                    self._group_cache[encoded] = chunk
+                    self.stats.server_reads += 1
+                finally:
+                    del self._inflight[encoded]
+                    done.succeed()
+        else:
+            self._group_cache.move_to_end(encoded)
+            self.stats.local_hits += 1
+            # In-memory extraction: negligible but non-zero.
+            yield self.env.timeout(2e-7)
+        return chunk.payload(record.path, verify=False)
+
+    def working_set_bytes(self) -> int:
+        return sum(len(c.data) for c in self._group_cache.values())
+
+    # ------------------------------------------------------------- metadata
+    def stat(self, path: str) -> Generator[Event, Any, dict]:
+        """DL_stat: O(1) from the snapshot when loaded, else a server RPC."""
+        self._check_open()
+        if self._index is not None:
+            yield self.env.timeout(self.cal.diesel.client_meta_lookup_s)
+            return self._index.stat(path)
+        result = yield from self._server().call(self.node, "stat", self.dataset, path)
+        return result
+
+    def ls(self, path: str = "/") -> Generator[Event, Any, list[str]]:
+        """DL_ls: list files and folders under ``path``."""
+        self._check_open()
+        if self._index is not None:
+            yield self.env.timeout(self.cal.diesel.client_meta_lookup_s)
+            return self._index.readdir(path)
+        result = yield from self._server().call(self.node, "ls", self.dataset, path)
+        return result
+
+    def save_meta(self) -> Generator[Event, Any, bytes]:
+        """DL_save_meta: download the dataset's metadata snapshot blob."""
+        self._check_open()
+        blob = yield from self._server().call(
+            self.node, "save_meta", self.dataset, response_bytes=None
+        )
+        return blob
+
+    def load_meta(self, blob: bytes) -> Generator[Event, Any, SnapshotIndex]:
+        """DL_load_meta: load a snapshot, verifying freshness (§4.1.3)."""
+        self._check_open()
+        snapshot = MetadataSnapshot.deserialize(blob)
+        if snapshot.dataset != self.dataset:
+            raise DieselError(
+                f"snapshot is for dataset {snapshot.dataset!r}, "
+                f"client is connected to {self.dataset!r}"
+            )
+        current_ts = yield from self._server().call(
+            self.node, "dataset_ts", self.dataset
+        )
+        if snapshot.update_ts != current_ts:
+            raise StaleSnapshotError(self.dataset, snapshot.update_ts, current_ts)
+        # Building the in-memory index costs real work at load time.
+        yield self.env.timeout(
+            len(snapshot.files) * self.cal.diesel.client_meta_lookup_s
+        )
+        self._index = SnapshotIndex(snapshot)
+        return self._index
+
+    # -------------------------------------------------------------- shuffle
+    def enable_shuffle(self, group_size: Optional[int] = None) -> None:
+        """DL_shuffle: turn on chunk-wise shuffle mode (§4.3)."""
+        self._check_open()
+        if self._index is None:
+            raise DieselError("chunk-wise shuffle requires a loaded snapshot")
+        if group_size is not None:
+            if group_size < 1:
+                raise DieselError("group_size must be >= 1")
+            self._shuffle_group_size = group_size
+        self._shuffle_enabled = True
+
+    def disable_shuffle(self) -> None:
+        self._shuffle_enabled = False
+        self._group_cache.clear()
+
+    @property
+    def shuffle_enabled(self) -> bool:
+        return self._shuffle_enabled
+
+    def epoch_file_list(self, seed: Optional[int] = None) -> EpochPlan:
+        """Generate the next epoch's chunk-wise-shuffled file order.
+
+        Each call advances the epoch counter so successive epochs get
+        different orders (required to avoid overfitting, §2.1).
+        """
+        self._check_open()
+        if not self._shuffle_enabled:
+            raise DieselError("call enable_shuffle() first")
+        rng = random.Random(
+            seed if seed is not None else (hash(self.dataset) ^ self._epoch)
+        )
+        self._epoch += 1
+        return chunkwise_shuffle(
+            self.index.files_by_chunk(), self._shuffle_group_size, rng
+        )
+
+    def full_shuffle_list(self, seed: Optional[int] = None) -> list[str]:
+        """Baseline shuffle-over-dataset order (for comparisons)."""
+        self._check_open()
+        rng = random.Random(seed if seed is not None else self._epoch)
+        self._epoch += 1
+        return full_shuffle(self.index.all_paths(), rng)
+
+    # ---------------------------------------------------------- housekeeping
+    def delete(self, path: str) -> Generator[Event, Any, None]:
+        """DL_delete: tombstone one file."""
+        self._check_open()
+        yield from self._server().call(self.node, "delete_file", self.dataset, path)
+
+    def purge(self) -> Generator[Event, Any, int]:
+        """DL_purge: rewrite chunks with deletion holes."""
+        self._check_open()
+        result = yield from self._server().call(self.node, "purge", self.dataset)
+        return result
+
+    def delete_dataset(self) -> Generator[Event, Any, int]:
+        """DL_delete_dataset: remove the entire dataset."""
+        self._check_open()
+        result = yield from self._server().call(
+            self.node, "delete_dataset", self.dataset
+        )
+        self._index = None
+        return result
+
+    def close(self) -> None:
+        """DL_close: releases the context; further calls raise ClosedError."""
+        self._closed = True
+        self._group_cache.clear()
+
+
+class SyncDieselClient:
+    """A blocking facade over :class:`DieselClient` for scripts/examples.
+
+    Every call spawns the underlying generator as a process and runs the
+    environment until it completes.  Only suitable when this client is
+    the sole foreground actor (background processes still advance).
+    """
+
+    def __init__(self, client: DieselClient) -> None:
+        self.client = client
+        self.env = client.env
+
+    def _run(self, gen) -> Any:
+        proc = self.env.process(gen)
+        return self.env.run(until=proc)
+
+    def put(self, path: str, data: bytes) -> None:
+        self._run(self.client.put(path, data))
+
+    def flush(self) -> None:
+        self._run(self.client.flush())
+
+    def get(self, path: str) -> bytes:
+        return self._run(self.client.get(path))
+
+    def stat(self, path: str) -> dict:
+        return self._run(self.client.stat(path))
+
+    def ls(self, path: str = "/") -> list[str]:
+        return self._run(self.client.ls(path))
+
+    def save_meta(self) -> bytes:
+        return self._run(self.client.save_meta())
+
+    def load_meta(self, blob: bytes) -> SnapshotIndex:
+        return self._run(self.client.load_meta(blob))
+
+    def delete(self, path: str) -> None:
+        self._run(self.client.delete(path))
+
+    def purge(self) -> int:
+        return self._run(self.client.purge())
+
+    def delete_dataset(self) -> int:
+        return self._run(self.client.delete_dataset())
+
+    def enable_shuffle(self, group_size: Optional[int] = None) -> None:
+        self.client.enable_shuffle(group_size)
+
+    def epoch_file_list(self, seed: Optional[int] = None) -> EpochPlan:
+        return self.client.epoch_file_list(seed)
+
+    def close(self) -> None:
+        self.client.close()

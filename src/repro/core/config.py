@@ -1,0 +1,80 @@
+"""System configuration + the ETCD-like config store (Fig 2).
+
+The paper stores system configuration in an ETCD server; DIESEL servers
+and clients read it at startup.  :class:`ConfigStore` is a minimal
+strongly-consistent key-value config service with watch callbacks;
+:class:`DieselConfig` is the typed bundle the DIESEL components consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List
+
+from repro.core.chunk import DEFAULT_CHUNK_SIZE
+
+
+@dataclass(frozen=True)
+class DieselConfig:
+    """Tunables for a DIESEL deployment."""
+
+    #: Target chunk payload size; the paper mandates ≥ 4 MB.
+    chunk_size: int = DEFAULT_CHUNK_SIZE
+    #: Task-grained cache policy: 'oneshot' prefetches at registration;
+    #: 'on-demand' fills on first miss (§4.2 "Cache Policies").
+    cache_policy: str = "oneshot"
+    #: Chunk-wise shuffle group size (chunks per group, §4.3/Fig 13).
+    shuffle_group_size: int = 100
+    #: Enable the server-side HDD→SSD cache tier (Fig 4).
+    server_cache: bool = True
+    #: DIESEL clients spawned per FUSE mount (§5 multi-client FUSE loop).
+    fuse_clients: int = 4
+
+    def __post_init__(self) -> None:
+        if self.chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        if self.cache_policy not in ("oneshot", "on-demand"):
+            raise ValueError(f"unknown cache policy: {self.cache_policy!r}")
+        if self.shuffle_group_size < 1:
+            raise ValueError("shuffle_group_size must be >= 1")
+        if self.fuse_clients < 1:
+            raise ValueError("fuse_clients must be >= 1")
+
+
+class ConfigStore:
+    """A tiny ETCD stand-in: versioned keys + watch callbacks."""
+
+    def __init__(self) -> None:
+        self._data: Dict[str, Any] = {}
+        self._versions: Dict[str, int] = {}
+        self._watchers: Dict[str, List[Callable[[str, Any], None]]] = {}
+
+    def put(self, key: str, value: Any) -> int:
+        """Set a key; returns its new version; fires watchers."""
+        self._data[key] = value
+        version = self._versions.get(key, 0) + 1
+        self._versions[key] = version
+        for cb in self._watchers.get(key, ()):
+            cb(key, value)
+        return version
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._data.get(key, default)
+
+    def version(self, key: str) -> int:
+        return self._versions.get(key, 0)
+
+    def delete(self, key: str) -> bool:
+        if key not in self._data:
+            return False
+        del self._data[key]
+        self._versions[key] = self._versions.get(key, 0) + 1
+        for cb in self._watchers.get(key, ()):
+            cb(key, None)
+        return True
+
+    def watch(self, key: str, callback: Callable[[str, Any], None]) -> None:
+        self._watchers.setdefault(key, []).append(callback)
+
+    def keys(self, prefix: str = "") -> list[str]:
+        return sorted(k for k in self._data if k.startswith(prefix))

@@ -1,0 +1,216 @@
+"""Key-value metadata schema (paper §4.1.1, Fig 5b).
+
+Filesystem operations are translated to key-value operations in the
+DIESEL server (metadata *processing* is decoupled from metadata
+*storage*).  The keyspace, per dataset ``ds``:
+
+========================================  =======================================
+key                                       value
+========================================  =======================================
+``ds:<ds>``                               :class:`DatasetRecord` (update ts,
+                                          sorted chunk-ID list)
+``ck:<ds>:<chunk-id>``                    :class:`ChunkRecord` (update ts, size,
+                                          #files, #deleted, deletion bitmap)
+``f:<ds>:<path>``                         :class:`FileRecord` (chunk id, offset,
+                                          length, crc)
+``dir:<ds>:<hash(parent)>/d:<name>``      ``b""``  (subdirectory entry)
+``dir:<ds>:<hash(parent)>/f:<name>``      ``b""``  (file entry)
+========================================  =======================================
+
+``readdir(/folderA)`` is exactly the paper's
+``pscan hash(/folderA)/d ∪ pscan hash(/folderA)/f``.
+All records serialize to compact binary so the KV store holds real bytes.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import DieselError
+from repro.util.bitmap import Bitmap
+from repro.util.ids import CHUNK_ID_BYTES, ChunkId
+from repro.util.hashing import stable_hash
+from repro.util.pathutil import dirname, normalize
+
+_U32 = struct.Struct(">I")
+_U64 = struct.Struct(">Q")
+_FILE_REC = struct.Struct(f">{CHUNK_ID_BYTES}sQQI")  # cid, offset, length, crc
+_CHUNK_REC_HEAD = struct.Struct(f">{CHUNK_ID_BYTES}sQQII")  # cid, ts, size, nfiles, ndeleted
+
+
+# -- key builders -------------------------------------------------------------
+def dataset_key(dataset: str) -> str:
+    return f"ds:{dataset}"
+
+
+def chunk_key(dataset: str, chunk_id: ChunkId) -> str:
+    return f"ck:{dataset}:{chunk_id.encode()}"
+
+
+def chunk_key_prefix(dataset: str) -> str:
+    return f"ck:{dataset}:"
+
+
+def file_key(dataset: str, path: str) -> str:
+    return f"f:{dataset}:{normalize(path)}"
+
+
+def file_key_prefix(dataset: str) -> str:
+    return f"f:{dataset}:"
+
+
+def dir_hash(path: str) -> str:
+    """Printable stable hash of a directory path (the paper's hash(...))."""
+    return f"{stable_hash(normalize(path)):016x}"
+
+
+def dir_entry_key(dataset: str, parent: str, name: str, is_dir: bool) -> str:
+    kind = "d" if is_dir else "f"
+    return f"dir:{dataset}:{dir_hash(parent)}/{kind}:{name}"
+
+
+def dir_scan_prefix(dataset: str, parent: str, kind: str) -> str:
+    """Prefix for pscan of one directory's entries; kind is 'd' or 'f'."""
+    if kind not in ("d", "f"):
+        raise ValueError("kind must be 'd' or 'f'")
+    return f"dir:{dataset}:{dir_hash(parent)}/{kind}:"
+
+
+# -- records -------------------------------------------------------------------
+@dataclass(frozen=True)
+class FileRecord:
+    """Where one file lives: chunk, offset within its data section, length."""
+
+    path: str
+    chunk_id: ChunkId
+    offset: int
+    length: int
+    crc32: int
+
+    def encode(self) -> bytes:
+        tail = _FILE_REC.pack(
+            self.chunk_id.raw, self.offset, self.length, self.crc32
+        )
+        name = self.path.encode("utf-8")
+        return _U32.pack(len(name)) + name + tail
+
+    @classmethod
+    def decode(cls, blob: bytes) -> "FileRecord":
+        (name_len,) = _U32.unpack_from(blob, 0)
+        name = blob[4 : 4 + name_len].decode("utf-8")
+        cid_raw, offset, length, crc = _FILE_REC.unpack_from(blob, 4 + name_len)
+        return cls(name, ChunkId(cid_raw), offset, length, crc)
+
+
+@dataclass(frozen=True)
+class ChunkRecord:
+    """Per-chunk metadata: update time, size, file counts, deletion bitmap."""
+
+    chunk_id: ChunkId
+    update_ts: int
+    size: int
+    nfiles: int
+    ndeleted: int
+    bitmap: Bitmap
+
+    def __post_init__(self) -> None:
+        if len(self.bitmap) != self.nfiles:
+            raise DieselError(
+                f"chunk record bitmap size {len(self.bitmap)} != nfiles "
+                f"{self.nfiles}"
+            )
+        if self.ndeleted != self.bitmap.count():
+            raise DieselError("ndeleted disagrees with bitmap population")
+
+    def encode(self) -> bytes:
+        head = _CHUNK_REC_HEAD.pack(
+            self.chunk_id.raw, self.update_ts, self.size, self.nfiles, self.ndeleted
+        )
+        return head + self.bitmap.to_bytes()
+
+    @classmethod
+    def decode(cls, blob: bytes) -> "ChunkRecord":
+        cid_raw, ts, size, nfiles, ndeleted = _CHUNK_REC_HEAD.unpack_from(blob, 0)
+        bitmap = Bitmap.from_bytes(blob[_CHUNK_REC_HEAD.size :], nfiles)
+        return cls(ChunkId(cid_raw), ts, size, nfiles, ndeleted, bitmap)
+
+    def with_deleted(self, index: int) -> "ChunkRecord":
+        """A copy with file ``index`` tombstoned."""
+        bm = self.bitmap.copy()
+        if bm.get(index):
+            raise DieselError(f"file index {index} already deleted")
+        bm.set(index)
+        return ChunkRecord(
+            self.chunk_id, self.update_ts, self.size, self.nfiles,
+            self.ndeleted + 1, bm,
+        )
+
+
+@dataclass(frozen=True)
+class DatasetRecord:
+    """Dataset root record: freshness timestamp + ordered chunk-ID list."""
+
+    name: str
+    update_ts: int
+    chunk_ids: tuple[ChunkId, ...] = field(default_factory=tuple)
+
+    def encode(self) -> bytes:
+        name = self.name.encode("utf-8")
+        out = bytearray()
+        out += _U32.pack(len(name))
+        out += name
+        out += _U64.pack(self.update_ts)
+        out += _U32.pack(len(self.chunk_ids))
+        for cid in self.chunk_ids:
+            out += cid.raw
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, blob: bytes) -> "DatasetRecord":
+        (name_len,) = _U32.unpack_from(blob, 0)
+        pos = 4
+        name = blob[pos : pos + name_len].decode("utf-8")
+        pos += name_len
+        (ts,) = _U64.unpack_from(blob, pos)
+        pos += 8
+        (n,) = _U32.unpack_from(blob, pos)
+        pos += 4
+        cids = []
+        for _ in range(n):
+            cids.append(ChunkId(blob[pos : pos + CHUNK_ID_BYTES]))
+            pos += CHUNK_ID_BYTES
+        return cls(name, ts, tuple(cids))
+
+    def with_chunks(self, new_ids: Sequence[ChunkId], ts: int) -> "DatasetRecord":
+        merged = tuple(sorted(set(self.chunk_ids) | set(new_ids)))
+        return DatasetRecord(self.name, ts, merged)
+
+    def without_chunks(self, gone: Sequence[ChunkId], ts: int) -> "DatasetRecord":
+        removed = set(gone)
+        kept = tuple(c for c in self.chunk_ids if c not in removed)
+        return DatasetRecord(self.name, ts, kept)
+
+
+def directory_entry_pairs(dataset: str, path: str) -> list[tuple[str, bytes]]:
+    """All dir-entry KV pairs implied by one file path.
+
+    Links the file into its parent and every ancestor directory into its
+    own parent, so the hierarchy is reconstructible by pscan alone.
+    """
+    path = normalize(path)
+    pairs = [(dir_entry_key(dataset, dirname(path), path.rsplit("/", 1)[-1] or path, False), b"")]
+    current = dirname(path)
+    while current != "/":
+        parent = dirname(current)
+        name = current.rsplit("/", 1)[-1]
+        pairs.append((dir_entry_key(dataset, parent, name, True), b""))
+        current = parent
+    return pairs
+
+
+def file_checksum(payload: bytes) -> int:
+    """The checksum stored in file records (crc32, matching chunk entries)."""
+    return zlib.crc32(payload)

@@ -1,0 +1,551 @@
+"""The DIESEL server (paper Fig 2–4, §4.1, §5).
+
+A DIESEL server is *stateless* with respect to metadata: it translates
+filesystem operations into key-value operations against the shared KV
+cluster and chunk operations against the shared object store, so any
+number of servers can run side by side (Fig 10a scales 1→3→5 servers
+against the same KV backend).
+
+Responsibilities implemented here:
+
+* **ingest** — receive a sealed chunk from a client, store it, extract
+  its header into KV pairs (file records, chunk record, directory
+  entries) and bump the dataset record (write flow, Fig 3);
+* **request executor** — sort + merge batched small-file reads into
+  chunk-wise range reads (§4 "The request executor in the DIESEL server
+  sorts and merges small file requests to chunk-wise operations");
+* **serve reads** — file / chunk / range reads through the (optionally
+  tiered) object store (read flow, Fig 4);
+* **metadata service** — stat/ls/snapshot generation at a calibrated
+  aggregate QPS (:class:`repro.calibration.DieselProfile`);
+* **housekeeping** — tombstone deletes, `DL_purge` chunk rewriting,
+  dataset removal (§4.1.1, §5).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple, Union
+
+from repro.calibration import Calibration, DEFAULT
+from repro.core import meta
+from repro.core.chunk import Chunk
+from repro.core.config import DieselConfig
+from repro.core.snapshot import MetadataSnapshot, build_snapshot
+from repro.errors import (
+    DatasetNotFoundError,
+    DieselError,
+    FileNotFoundInDatasetError,
+)
+from repro.cluster.network import NetworkFabric
+from repro.cluster.node import Node
+from repro.kvstore.sharded import ShardedKV
+from repro.objectstore.store import ObjectStore
+from repro.objectstore.tiered import TieredStore
+from repro.rpc.endpoint import RpcEndpoint
+from repro.sim.engine import Environment, Event
+from repro.util.ids import ChunkId, ChunkIdGenerator, decode_chunk_id
+from repro.util.pathutil import basename, dirname, normalize
+
+AnyStore = Union[ObjectStore, TieredStore]
+
+#: Methods that are pure metadata (charged at the metadata service rate).
+_META_METHODS = frozenset(
+    {"stat", "ls", "dataset_ts", "exists", "save_meta", "register", "auth"}
+)
+
+
+def object_key(dataset: str, chunk_id: ChunkId) -> str:
+    """Object-store key for a chunk: ``<dataset>/<order-preserving id>``.
+
+    The dataset prefix keeps per-dataset listings contiguous; within a
+    dataset, lexicographic order equals written order (§4.1.2).
+    """
+    return f"{dataset}/{chunk_id.encode()}"
+
+
+def parse_object_key(key: str) -> tuple[str, ChunkId]:
+    dataset, _, encoded = key.rpartition("/")
+    return dataset, decode_chunk_id(encoded)
+
+
+class DieselServer:
+    """One DIESEL server process bound to a cluster node."""
+
+    def __init__(
+        self,
+        env: Environment,
+        fabric: NetworkFabric,
+        node: Node,
+        kv: ShardedKV,
+        store: AnyStore,
+        config: DieselConfig | None = None,
+        calibration: Calibration = DEFAULT,
+        name: str = "diesel0",
+        workers: int = 32,
+        access_keys: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self.env = env
+        self.fabric = fabric
+        self.node = node
+        self.kv = kv
+        self.store = store
+        self.config = config or DieselConfig()
+        self.cal = calibration
+        self.name = name
+        #: Optional user→key credentials checked by DL_connect; None
+        #: means open access (the default in trusted-cluster deployments).
+        self.access_keys = access_keys
+        # Two worker pools, as in the real server: a metadata path with a
+        # calibrated QPS ceiling (Fig 10a) and a data path whose time is
+        # dominated by the object store devices.
+        self.meta_endpoint = RpcEndpoint.for_capacity(
+            env, fabric, node, f"{name}-meta",
+            handler=self._handle,
+            qps=self.cal.diesel.server_meta_qps,
+            latency_s=self.cal.diesel.server_meta_latency_s,
+        )
+        self.endpoint = RpcEndpoint(
+            env,
+            fabric,
+            node,
+            name,
+            handler=self._handle,
+            service_s=2e-6,  # dispatch; data time is charged by the store
+            workers=workers,
+        )
+        # Logical dataset version counter (monotone per server group; shared
+        # through the KV dataset record, so multiple servers stay coherent).
+        self._kv_batch = 128  # records per pipelined KV round trip
+        # One generator per server so purge-minted chunk IDs never collide.
+        self._idgen = ChunkIdGenerator(clock=lambda: env.now)
+
+    # ------------------------------------------------------------------ RPC
+    def _handle(self, method: str, *args: Any) -> Any:
+        dispatch = {
+            "ingest_chunk": self._op_ingest_chunk,
+            "get_file": self._op_get_file,
+            "get_file_range": self._op_get_file_range,
+            "read_files": self._op_read_files,
+            "get_chunk": self._op_get_chunk,
+            "get_chunk_range": self._op_get_chunk_range,
+            "stat": self._op_stat,
+            "ls": self._op_ls,
+            "exists": self._op_exists,
+            "dataset_ts": self._op_dataset_ts,
+            "save_meta": self._op_save_meta,
+            "delete_file": self._op_delete_file,
+            "purge": self._op_purge,
+            "delete_dataset": self._op_delete_dataset,
+            "register": self._op_register,
+            "auth": self._op_auth,
+        }
+        try:
+            op = dispatch[method]
+        except KeyError:
+            raise DieselError(f"unknown server method {method!r}") from None
+        return op(*args)
+
+    def call(
+        self, client: Node, method: str, *args: Any, **kw: Any
+    ) -> Generator[Event, Any, Any]:
+        """RPC into this server from ``client`` (generator).
+
+        Metadata methods route through the capacity-limited metadata
+        pool; data methods through the I/O worker pool.
+        """
+        ep = self.meta_endpoint if method in _META_METHODS else self.endpoint
+        return ep.call(client, method, *args, **kw)
+
+    # -------------------------------------------------------------- helpers
+    def _kv_pipeline_cost(self, n_records: int) -> float:
+        """Simulated time for writing ``n_records`` KV pairs, pipelined.
+
+        The server batches metadata writes to the KV cluster (Redis
+        pipelining); effective cost is bounded by the cluster's aggregate
+        QPS rather than per-record round trips.
+        """
+        qps = self.cal.redis.cluster_qps
+        round_trips = max(1, n_records // self._kv_batch)
+        return n_records / qps + round_trips * self.cal.network.latency_s
+
+    def _dataset_record(self, dataset: str) -> meta.DatasetRecord:
+        blob = self.kv.local_get_or_none(meta.dataset_key(dataset))
+        if blob is None:
+            raise DatasetNotFoundError(dataset)
+        return meta.DatasetRecord.decode(blob)
+
+    def _file_record(self, dataset: str, path: str) -> meta.FileRecord:
+        blob = self.kv.local_get_or_none(meta.file_key(dataset, path))
+        if blob is None:
+            raise FileNotFoundInDatasetError(path)
+        return meta.FileRecord.decode(blob)
+
+    def _chunk_record(self, dataset: str, cid: ChunkId) -> meta.ChunkRecord:
+        blob = self.kv.local_get_or_none(meta.chunk_key(dataset, cid))
+        if blob is None:
+            raise DieselError(f"missing chunk record for {cid.encode()}")
+        return meta.ChunkRecord.decode(blob)
+
+    def _next_ts(self, dataset: str) -> int:
+        blob = self.kv.local_get_or_none(meta.dataset_key(dataset))
+        if blob is None:
+            return 1
+        return meta.DatasetRecord.decode(blob).update_ts + 1
+
+    def ingest_metadata(
+        self, dataset: str, chunk: Chunk, data_size: int | None = None
+    ) -> int:
+        """Write all KV pairs implied by one chunk; returns the pair count.
+
+        Pure metadata mutation (no simulated time) — callers charge
+        :meth:`_kv_pipeline_cost` for it.  ``data_size`` overrides the
+        chunk's payload size when ingesting from a header-only decode
+        (recovery scans read headers, not payloads).
+        """
+        pairs: list[tuple[str, bytes]] = []
+        for i, f in enumerate(chunk.files):
+            if chunk.deletion_bitmap.get(i):
+                continue  # tombstoned files must not resurrect on rescan
+            rec = meta.FileRecord(f.path, chunk.chunk_id, f.offset, f.length, f.crc32)
+            pairs.append((meta.file_key(dataset, f.path), rec.encode()))
+            pairs.extend(meta.directory_entry_pairs(dataset, f.path))
+        ts = self._next_ts(dataset)
+        crec = meta.ChunkRecord(
+            chunk.chunk_id,
+            ts,
+            data_size if data_size is not None else chunk.data_size,
+            len(chunk.files),
+            chunk.deleted_count,
+            chunk.deletion_bitmap.copy(),
+        )
+        pairs.append((meta.chunk_key(dataset, chunk.chunk_id), crec.encode()))
+        old = self.kv.local_get_or_none(meta.dataset_key(dataset))
+        if old is None:
+            dsrec = meta.DatasetRecord(dataset, ts, (chunk.chunk_id,))
+        else:
+            dsrec = meta.DatasetRecord.decode(old).with_chunks([chunk.chunk_id], ts)
+        pairs.append((meta.dataset_key(dataset), dsrec.encode()))
+        for k, v in pairs:
+            self.kv.local_put(k, v)
+        return len(pairs)
+
+    # ------------------------------------------------------------ operations
+    def _op_ingest_chunk(
+        self, dataset: str, chunk_bytes: bytes
+    ) -> Generator[Event, Any, str]:
+        """Write flow (Fig 3): store the chunk, extract metadata to KV.
+
+        The object write is journaled: the client's ingest is acked once
+        the chunk hits the replicated journal; the NVMe flush proceeds in
+        the background (still occupying the device, so concurrent reads
+        feel it).  This is how the paper writes ImageNet-1K (~150 GB)
+        "within only 3 seconds" (§6.2).
+        """
+        chunk = Chunk.decode(chunk_bytes)
+        key = object_key(dataset, chunk.chunk_id)
+        yield self.env.timeout(
+            len(chunk_bytes) / self.cal.diesel.ingest_journal_bps
+        )
+        flush = self.store.put_journaled(key, chunk_bytes)
+        self.env.process(flush, name=f"flush:{chunk.chunk_id.encode()[:8]}")
+        n_pairs = self.ingest_metadata(dataset, chunk)
+        yield self.env.timeout(self._kv_pipeline_cost(n_pairs))
+        return chunk.chunk_id.encode()
+
+    def _read_range(
+        self, key: str, offset: int, length: int
+    ) -> Generator[Event, Any, bytes]:
+        result = yield from self.store.get_range(key, offset, length)
+        return result
+
+    def _header_size(self, chunk_bytes_key: str) -> int:
+        # Range reads address the data section; its start is where the
+        # header ends.
+        blob = self.store.peek(chunk_bytes_key)
+        _, data_offset = Chunk.decode_header(blob)
+        return data_offset
+
+    def _op_get_file(
+        self, dataset: str, path: str
+    ) -> Generator[Event, Any, bytes]:
+        """Read one file: KV lookup + chunk range read."""
+        rec = self._file_record(dataset, path)
+        yield self.env.timeout(1.0 / self.cal.redis.cluster_qps)
+        key = object_key(dataset, rec.chunk_id)
+        data_offset = self._header_size(key)
+        payload = yield from self._read_range(
+            key, data_offset + rec.offset, rec.length
+        )
+        return payload
+
+    def _op_read_files(
+        self, dataset: str, paths: Sequence[str]
+    ) -> Generator[Event, Any, Dict[str, bytes]]:
+        """Request executor: batch-read files as merged chunk-wise ranges.
+
+        Files are sorted by (chunk, offset); runs of files adjacent in one
+        chunk collapse into a single range read, so a shuffled mini-batch
+        that happens to share chunks costs a handful of large reads.
+        """
+        records = [(p, self._file_record(dataset, p)) for p in paths]
+        yield self.env.timeout(len(records) / self.cal.redis.cluster_qps)
+        records.sort(key=lambda pr: (pr[1].chunk_id, pr[1].offset))
+        out: Dict[str, bytes] = {}
+        i = 0
+        while i < len(records):
+            cid = records[i][1].chunk_id
+            j = i
+            # Collect the run of files in this chunk and merge their span.
+            while j < len(records) and records[j][1].chunk_id == cid:
+                j += 1
+            run = records[i:j]
+            start = min(r.offset for _, r in run)
+            end = max(r.offset + r.length for _, r in run)
+            key = object_key(dataset, cid)
+            data_offset = self._header_size(key)
+            span = yield from self._read_range(key, data_offset + start, end - start)
+            for p, r in run:
+                out[p] = span[r.offset - start : r.offset - start + r.length]
+            i = j
+        return out
+
+    def _op_get_file_range(
+        self, dataset: str, path: str, offset: int, length: int
+    ) -> Generator[Event, Any, bytes]:
+        """Partial file read (POSIX pread through FUSE, §5).
+
+        Reads past EOF are clamped, matching read(2) semantics.
+        """
+        rec = self._file_record(dataset, path)
+        if offset < 0 or length < 0:
+            raise DieselError("offset and length must be non-negative")
+        yield self.env.timeout(1.0 / self.cal.redis.cluster_qps)
+        offset = min(offset, rec.length)
+        length = min(length, rec.length - offset)
+        if length == 0:
+            return b""
+        key = object_key(dataset, rec.chunk_id)
+        data_offset = self._header_size(key)
+        payload = yield from self._read_range(
+            key, data_offset + rec.offset + offset, length
+        )
+        return payload
+
+    def _op_get_chunk(
+        self, dataset: str, encoded_cid: str
+    ) -> Generator[Event, Any, bytes]:
+        key = f"{dataset}/{encoded_cid}"
+        blob = yield from self.store.get(key)
+        return blob
+
+    def _op_get_chunk_range(
+        self, dataset: str, encoded_cid: str, offset: int, length: int
+    ) -> Generator[Event, Any, bytes]:
+        key = f"{dataset}/{encoded_cid}"
+        result = yield from self._read_range(key, offset, length)
+        return result
+
+    def _op_stat(self, dataset: str, path: str) -> dict:
+        path = normalize(path)
+        blob = self.kv.local_get_or_none(meta.file_key(dataset, path))
+        if blob is not None:
+            rec = meta.FileRecord.decode(blob)
+            return {
+                "path": path,
+                "is_dir": False,
+                "size": rec.length,
+                "chunk_id": rec.chunk_id.encode(),
+                # Table 3: DL_stat returns "file size, upload time, etc.";
+                # the upload second is embedded in the chunk ID (Table 1).
+                "upload_time": rec.chunk_id.timestamp,
+            }
+        # Directory probe: any entries under it?
+        if path == "/" or self._op_ls(dataset, path):
+            return {"path": path, "is_dir": True, "size": 0,
+                    "chunk_id": None, "upload_time": None}
+        raise FileNotFoundInDatasetError(path)
+
+    def _op_ls(self, dataset: str, path: str) -> list[str]:
+        """readdir = pscan hash(dir)/d ∪ pscan hash(dir)/f (§4.1.1)."""
+        names: list[str] = []
+        for kind in ("d", "f"):
+            prefix = meta.dir_scan_prefix(dataset, path, kind)
+            for key, _ in self.kv.local_pscan(prefix):
+                names.append(key[len(prefix):])
+        return sorted(names)
+
+    def _op_exists(self, dataset: str, path: str) -> bool:
+        return self.kv.local_get_or_none(meta.file_key(dataset, path)) is not None
+
+    def _op_dataset_ts(self, dataset: str) -> int:
+        return self._dataset_record(dataset).update_ts
+
+    def _op_auth(self, user: str, key: str) -> bool:
+        """DL_connect credential check (Table 3: user, key)."""
+        if self.access_keys is None:
+            return True
+        return self.access_keys.get(user) == key
+
+    def _op_register(self, dataset: str, client_name: str) -> dict:
+        """Task registration: returns dataset summary for cache planning."""
+        rec = self._dataset_record(dataset)
+        return {
+            "dataset": dataset,
+            "update_ts": rec.update_ts,
+            "chunk_ids": [c.encode() for c in rec.chunk_ids],
+        }
+
+    def _op_save_meta(self, dataset: str) -> Generator[Event, Any, bytes]:
+        """Materialize the dataset's metadata snapshot (§4.1.3)."""
+        snapshot = self.build_snapshot(dataset)
+        yield self.env.timeout(self._kv_pipeline_cost(len(snapshot.files)))
+        return snapshot.serialize()
+
+    def build_snapshot(self, dataset: str) -> MetadataSnapshot:
+        """Assemble the snapshot from KV (no simulated cost; see save_meta)."""
+        dsrec = self._dataset_record(dataset)
+        files: list[meta.FileRecord] = []
+        for _, blob in self.kv.local_pscan(meta.file_key_prefix(dataset)):
+            files.append(meta.FileRecord.decode(blob))
+        return build_snapshot(dataset, dsrec.update_ts, files, dsrec.chunk_ids)
+
+    def _op_delete_file(
+        self, dataset: str, path: str
+    ) -> Generator[Event, Any, None]:
+        """Delete = tombstone in the chunk's deletion bitmap (§4.1.1).
+
+        The tombstone is written both to the KV chunk record and into the
+        stored chunk's header bitmap, keeping chunks self-contained: a
+        metadata rebuild from chunks (§4.1.2) must not resurrect deleted
+        files.
+        """
+        path = normalize(path)
+        rec = self._file_record(dataset, path)
+        # Find the file's index within its chunk from the stored header.
+        key = object_key(dataset, rec.chunk_id)
+        blob = self.store.peek(key)
+        full = Chunk.decode(blob)
+        index = full._by_path[path]
+        crec = self._chunk_record(dataset, rec.chunk_id).with_deleted(index)
+        ts = self._next_ts(dataset)
+        dsrec = self._dataset_record(dataset)
+        self.kv.local_put(meta.chunk_key(dataset, rec.chunk_id), crec.encode())
+        # Patch the on-storage header bitmap (small in-place write).
+        patched = Chunk(full.chunk_id, full.files, full.data, crec.bitmap.copy())
+        header = patched.header_bytes()
+        device = (
+            self.store.device
+            if isinstance(self.store, ObjectStore)
+            else self.store.hdd
+        )
+        yield from device.write(len(header))
+        self.store.patch(key, header + full.data)
+        self.kv.local_delete(meta.file_key(dataset, path))
+        self.kv.local_delete(
+            meta.dir_entry_key(dataset, dirname(path), basename(path), False)
+        )
+        self.kv.local_put(
+            meta.dataset_key(dataset),
+            meta.DatasetRecord(dataset, ts, dsrec.chunk_ids).encode(),
+        )
+        yield self.env.timeout(self._kv_pipeline_cost(4))
+
+    def _op_purge(self, dataset: str) -> Generator[Event, Any, int]:
+        """DL_purge: rewrite chunks that contain deletion holes (§5).
+
+        For every chunk with tombstones, read it, repack only the live
+        files into a fresh chunk (new ID), ingest the new chunk, and drop
+        the old one.  Returns the number of chunks rewritten.
+        """
+        dsrec = self._dataset_record(dataset)
+        rewritten = 0
+        for cid in list(dsrec.chunk_ids):
+            crec = self._chunk_record(dataset, cid)
+            if crec.ndeleted == 0:
+                continue
+            key = object_key(dataset, cid)
+            blob = yield from self.store.get(key)
+            old_chunk = Chunk.decode(blob)
+            live = [
+                (f.path, old_chunk.payload(f.path))
+                for i, f in enumerate(old_chunk.files)
+                if not crec.bitmap.get(i)
+            ]
+            if live:
+                new_chunk = Chunk.build(self._idgen.next(), live)
+                new_bytes = new_chunk.encode()
+                yield from self.store.put(
+                    object_key(dataset, new_chunk.chunk_id), new_bytes
+                )
+                n_pairs = self.ingest_metadata(dataset, new_chunk)
+                yield self.env.timeout(self._kv_pipeline_cost(n_pairs))
+            # Drop the old chunk and its record; trim the dataset record.
+            yield from self._drop_chunk(dataset, cid)
+            rewritten += 1
+        return rewritten
+
+    def _drop_chunk(self, dataset: str, cid: ChunkId) -> Generator[Event, Any, None]:
+        key = object_key(dataset, cid)
+        if isinstance(self.store, ObjectStore):
+            yield from self.store.delete(key)
+        else:
+            self.store._base.pop(key, None)
+            yield self.env.timeout(0)
+        self.kv.local_delete(meta.chunk_key(dataset, cid))
+        ts = self._next_ts(dataset)
+        dsrec = self._dataset_record(dataset).without_chunks([cid], ts)
+        self.kv.local_put(meta.dataset_key(dataset), dsrec.encode())
+
+    def _op_delete_dataset(self, dataset: str) -> Generator[Event, Any, int]:
+        """DL_delete_dataset: remove every chunk and KV pair (§5)."""
+        dsrec = self._dataset_record(dataset)
+        n = 0
+        for cid in dsrec.chunk_ids:
+            yield from self._drop_chunk(dataset, cid)
+            n += 1
+        for prefix in (
+            meta.file_key_prefix(dataset),
+            meta.chunk_key_prefix(dataset),
+            f"dir:{dataset}:",
+        ):
+            for key, _ in self.kv.local_pscan(prefix):
+                self.kv.local_delete(key)
+        self.kv.local_delete(meta.dataset_key(dataset))
+        yield self.env.timeout(self._kv_pipeline_cost(max(1, n)))
+        return n
+
+    # ------------------------------------------------------ server caching
+    def start_background_caching(self, dataset: str):
+        """Fig 4: "If a cache miss occurs on the server-side, the server
+        will start to cache the dataset in the background."
+
+        Spawns a process that streams every one of the dataset's chunks
+        through the tiered store's promotion path.  No-op for untiered
+        stores.  Returns the process (an event that yields the number of
+        chunks promoted), or None if there is nothing to do.
+        """
+        if not isinstance(self.store, TieredStore):
+            return None
+        dsrec = self._dataset_record(dataset)
+
+        def warm():
+            promoted = 0
+            for cid in dsrec.chunk_ids:
+                key = object_key(dataset, cid)
+                if key in self.store._base and not self.store.in_ssd(key):
+                    size = len(self.store.peek(key))
+                    # Explicit promotion, independent of the per-read
+                    # promote_on_miss policy: stream from HDD, write SSD.
+                    yield from self.store.hdd.read(size)
+                    yield from self.store._promote(key, size)
+                    promoted += 1
+            return promoted
+
+        return self.env.process(warm(), name=f"servercache:{dataset}")
+
+    # ----------------------------------------------------------- inspection
+    def datasets(self) -> list[str]:
+        return [k[len("ds:"):] for k, _ in self.kv.local_pscan("ds:")]
+
+    def dataset_info(self, dataset: str) -> meta.DatasetRecord:
+        return self._dataset_record(dataset)

@@ -1,0 +1,169 @@
+"""A PyTorch-style DataLoader over simulated storage.
+
+The paper's training jobs consume data through PyTorch's ``DataLoader``
+(§6.6): N worker processes prefetch mini-batches through the filesystem
+while the training loop iterates ready batches.  :class:`SimDataLoader`
+reproduces that execution model over any :class:`repro.dlt.readers`
+backend, exposing a generator-iterator the training loop drives in
+simulated time::
+
+    loader = SimDataLoader(env, reader, batch_size=32, num_workers=4)
+    batches = yield from loader.begin_epoch(epoch)
+    for _ in range(batches):
+        batch = yield from loader.next_batch()
+        # batch.items: list of (path, bytes); batch.wait_s: the stall
+
+It reports both the stall (time the consumer waited) and the fetch time
+(worker wall time per batch) — the two quantities Fig 14 is about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, List, Optional, Tuple
+
+from repro.errors import DieselError
+from repro.sim.engine import Environment, Event
+from repro.sim.resources import Store
+
+
+@dataclass
+class Batch:
+    """One delivered mini-batch."""
+
+    epoch: int
+    index: int
+    items: List[Tuple[str, bytes]]
+    #: Worker wall time spent fetching this batch (hidden or not).
+    fetch_s: float
+    #: Time the consumer stalled waiting for this batch.
+    wait_s: float
+
+    @property
+    def paths(self) -> List[str]:
+        return [p for p, _ in self.items]
+
+    @property
+    def nbytes(self) -> int:
+        return sum(len(d) for _, d in self.items)
+
+
+@dataclass
+class LoaderStats:
+    batches: int = 0
+    files: int = 0
+    bytes: int = 0
+    total_wait_s: float = 0.0
+    total_fetch_s: float = 0.0
+
+    def mean_wait(self) -> float:
+        return self.total_wait_s / self.batches if self.batches else 0.0
+
+    def mean_fetch(self) -> float:
+        return self.total_fetch_s / self.batches if self.batches else 0.0
+
+
+class SimDataLoader:
+    """Worker-pool prefetching loader over an EpochReader backend."""
+
+    def __init__(
+        self,
+        env: Environment,
+        reader,
+        batch_size: int = 32,
+        num_workers: int = 4,
+        prefetch_depth: int = 2,
+        drop_last: bool = False,
+    ) -> None:
+        if batch_size < 1 or num_workers < 1 or prefetch_depth < 1:
+            raise DieselError(
+                "batch_size, num_workers and prefetch_depth must be >= 1"
+            )
+        self.env = env
+        self.reader = reader
+        self.batch_size = batch_size
+        self.num_workers = num_workers
+        self.prefetch_depth = prefetch_depth
+        self.drop_last = drop_last
+        self.stats = LoaderStats()
+        self._epoch: Optional[int] = None
+        self._ready: Optional[Store] = None
+        self._workers: list = []
+        self._remaining = 0
+        self._batch_index = 0
+
+    # ------------------------------------------------------------ epochs
+    def begin_epoch(self, epoch: int) -> Generator[Event, Any, int]:
+        """Shuffle, partition into batches, start workers.
+
+        Returns the number of batches this epoch will deliver.
+        """
+        if self._remaining:
+            raise DieselError(
+                f"epoch {self._epoch} still has {self._remaining} undelivered "
+                f"batches; drain them (or call abort()) first"
+            )
+        order = yield from self.reader.begin_epoch(epoch)
+        batches = [
+            order[i : i + self.batch_size]
+            for i in range(0, len(order), self.batch_size)
+        ]
+        if self.drop_last and batches and len(batches[-1]) < self.batch_size:
+            batches.pop()
+        self._epoch = epoch
+        self._batch_index = 0
+        self._remaining = len(batches)
+        todo: Store = Store(self.env)
+        self._ready = Store(self.env, capacity=self.prefetch_depth)
+        for b in batches:
+            todo.put(b)
+        for _ in range(self.num_workers):
+            todo.put(None)  # stop sentinel per worker
+
+        def worker():
+            while True:
+                paths = yield todo.get()
+                if paths is None:
+                    return
+                t0 = self.env.now
+                items = []
+                for path in paths:
+                    data = yield from self.reader.read(path)
+                    items.append((path, data))
+                yield self._ready.put((items, self.env.now - t0))
+
+        self._workers = [
+            self.env.process(worker(), name=f"loader-w{w}")
+            for w in range(self.num_workers)
+        ]
+        return len(batches)
+
+    def next_batch(self) -> Generator[Event, Any, Batch]:
+        """Block until the next prefetched batch is ready."""
+        if self._ready is None or self._remaining == 0:
+            raise DieselError("no batches pending; call begin_epoch first")
+        t0 = self.env.now
+        items, fetch_s = yield self._ready.get()
+        wait_s = self.env.now - t0
+        batch = Batch(self._epoch, self._batch_index, items, fetch_s, wait_s)
+        self._batch_index += 1
+        self._remaining -= 1
+        self.stats.batches += 1
+        self.stats.files += len(items)
+        self.stats.bytes += batch.nbytes
+        self.stats.total_wait_s += wait_s
+        self.stats.total_fetch_s += fetch_s
+        return batch
+
+    def drain(self) -> Generator[Event, Any, List[Batch]]:
+        """Deliver every remaining batch of the current epoch."""
+        out: List[Batch] = []
+        while self._remaining:
+            batch = yield from self.next_batch()
+            out.append(batch)
+        yield self.env.all_of(self._workers)
+        return out
+
+    @property
+    def batches_remaining(self) -> int:
+        return self._remaining

@@ -1,0 +1,72 @@
+"""Training-job arithmetic over the calibrated model zoo.
+
+The zoo itself (per-iteration V100 compute times for AlexNet, VGG-11,
+ResNet-18, ResNet-50) lives in :data:`repro.calibration.MODEL_ZOO`; this
+module adds the job-level arithmetic the Fig 14/15 experiments need:
+iterations per epoch, total epochs, and projected wall times.
+
+Sanity anchor from the paper (§6.6): ResNet-50 on ImageNet-1K with
+mini-batch 256 runs 5005 iterations per epoch for 90+ epochs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.calibration import MODEL_ZOO, ModelProfile
+
+
+def model_profile(name: str) -> ModelProfile:
+    """Look up a model by name (alexnet, vgg11, resnet18, resnet50)."""
+    try:
+        return MODEL_ZOO[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; available: {sorted(MODEL_ZOO)}"
+        ) from None
+
+
+def iterations_per_epoch(n_files: int, batch_size: int) -> int:
+    """Mini-batches needed to traverse the dataset once."""
+    if n_files < 1 or batch_size < 1:
+        raise ValueError("n_files and batch_size must be positive")
+    return math.ceil(n_files / batch_size)
+
+
+@dataclass(frozen=True)
+class TrainingJob:
+    """One DLT task: a model over a dataset for a number of epochs."""
+
+    model: ModelProfile
+    n_files: int
+    batch_size: int = 256
+    epochs: int = 90
+
+    @property
+    def iters_per_epoch(self) -> int:
+        return iterations_per_epoch(self.n_files, self.batch_size)
+
+    @property
+    def total_iterations(self) -> int:
+        return self.iters_per_epoch * self.epochs
+
+    def compute_time_total(self) -> float:
+        """Pure-GPU lower bound on the job's duration."""
+        return self.total_iterations * self.model.compute_s
+
+    def projected_total_time(self, per_iter_data_stall_s: float) -> float:
+        """Job duration given an average per-iteration data stall.
+
+        With pipelined I/O (§6.6), each iteration costs
+        ``compute + stall`` where the stall is the part of the data wait
+        not hidden behind compute.
+        """
+        per_iter = self.model.compute_s + max(0.0, per_iter_data_stall_s)
+        return self.total_iterations * per_iter
+
+    @classmethod
+    def paper_resnet50(cls) -> "TrainingJob":
+        """The §6.6 anchor: ResNet-50 / ImageNet-1K / batch 256 / 90 epochs."""
+        return cls(model_profile("resnet50"), n_files=1_281_167,
+                   batch_size=256, epochs=90)

@@ -1,0 +1,19 @@
+"""Sharded in-memory key-value store (the Redis-cluster substrate).
+
+DIESEL stores dataset metadata as key-value pairs in a distributed
+in-memory KV database (§4, Fig 2: "e.g., Redis cluster").  This package
+provides:
+
+* :class:`KVTable` — the pure data structure (bytes → bytes with prefix
+  scan), usable without simulation;
+* :class:`KVInstance` — one KV server process bound to a cluster node,
+  fronted by an RPC endpoint with a calibrated service rate;
+* :class:`ShardedKV` — slot-based sharding across instances, plus the two
+  §4.1.2 failure scenarios (lose one instance's recent writes / lose
+  everything).
+"""
+
+from repro.kvstore.kv import KVInstance, KVTable
+from repro.kvstore.sharded import ShardedKV
+
+__all__ = ["KVInstance", "KVTable", "ShardedKV"]

@@ -1,0 +1,123 @@
+"""Slot-sharded KV cluster (Redis-cluster style) with failure scenarios."""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, Sequence
+
+from repro.errors import ShardUnavailableError
+from repro.cluster.node import Node
+from repro.kvstore.kv import KVInstance
+from repro.sim.engine import Event
+from repro.util.hashing import stable_hash
+
+#: Redis cluster uses 16384 hash slots; we keep the same constant.
+NUM_SLOTS = 16384
+
+
+class ShardedKV:
+    """Routes keys to KV instances by hash slot.
+
+    Mirrors how a Redis cluster (or twemproxy'd pool) spreads a keyspace.
+    ``pscan`` fans out to every live shard and merges, since a prefix may
+    span shards.
+    """
+
+    def __init__(self, instances: Sequence[KVInstance]) -> None:
+        if not instances:
+            raise ValueError("ShardedKV needs at least one instance")
+        self._instances = list(instances)
+
+    @property
+    def instances(self) -> tuple[KVInstance, ...]:
+        return tuple(self._instances)
+
+    def slot(self, key: str) -> int:
+        return stable_hash(key, NUM_SLOTS)
+
+    def owner(self, key: str) -> KVInstance:
+        return self._instances[self.slot(key) % len(self._instances)]
+
+    def _live_owner(self, key: str) -> KVInstance:
+        inst = self.owner(key)
+        if not inst.up:
+            raise ShardUnavailableError(
+                f"shard {inst.name!r} for key {key!r} is down"
+            )
+        return inst
+
+    # -- simulated operations (generators; run inside a process) ----------
+    def get(self, client: Node, key: str) -> Generator[Event, Any, bytes]:
+        inst = self._live_owner(key)
+        result = yield from inst.call(client, "get", key)
+        return result
+
+    def get_or_none(
+        self, client: Node, key: str
+    ) -> Generator[Event, Any, Optional[bytes]]:
+        inst = self._live_owner(key)
+        result = yield from inst.call(client, "get_or_none", key)
+        return result
+
+    def put(self, client: Node, key: str, value: bytes) -> Generator[Event, Any, None]:
+        inst = self._live_owner(key)
+        yield from inst.call(
+            client, "put", key, value, request_bytes=64 + len(key) + len(value)
+        )
+
+    def delete(self, client: Node, key: str) -> Generator[Event, Any, None]:
+        inst = self._live_owner(key)
+        yield from inst.call(client, "delete", key)
+
+    def pscan(
+        self, client: Node, prefix: str
+    ) -> Generator[Event, Any, list[tuple[str, bytes]]]:
+        """Prefix scan across all shards, merged in key order."""
+        merged: list[tuple[str, bytes]] = []
+        for inst in self._instances:
+            if not inst.up:
+                raise ShardUnavailableError(f"shard {inst.name!r} is down")
+            part = yield from inst.call(client, "pscan", prefix)
+            merged.extend(part)
+        merged.sort(key=lambda kv: kv[0])
+        return merged
+
+    # -- direct (zero-cost) access for co-located server logic ------------
+    # These bypass the RPC *cost* (the DIESEL server's service rate
+    # already accounts for the KV round trip) but never the shard's
+    # *liveness*: a dead Redis instance is dead however you reach it.
+    def local_put(self, key: str, value: bytes) -> None:
+        """Write bypassing RPC cost; for processes co-located with the shard."""
+        self._live_owner(key).table.put(key, value)
+
+    def local_get(self, key: str) -> bytes:
+        return self._live_owner(key).table.get(key)
+
+    def local_get_or_none(self, key: str) -> Optional[bytes]:
+        return self._live_owner(key).table.get_or_none(key)
+
+    def local_delete(self, key: str) -> None:
+        self._live_owner(key).table.delete(key)
+
+    def local_pscan(self, prefix: str) -> list[tuple[str, bytes]]:
+        merged: list[tuple[str, bytes]] = []
+        for inst in self._instances:
+            if not inst.up:
+                raise ShardUnavailableError(f"shard {inst.name!r} is down")
+            merged.extend(inst.table.pscan(prefix))
+        merged.sort(key=lambda kv: kv[0])
+        return merged
+
+    def total_keys(self) -> int:
+        return sum(len(i.table) for i in self._instances)
+
+    # -- §4.1.2 failure scenarios -----------------------------------------
+    def lose_instance(self, index: int) -> KVInstance:
+        """Scenario (a): one KV node crashes, losing its recent pairs."""
+        inst = self._instances[index]
+        inst.crash_and_lose_data()
+        return inst
+
+    def lose_all(self) -> None:
+        """Scenario (b): data-center power failure — all pairs gone."""
+        for inst in self._instances:
+            inst.crash_and_lose_data()

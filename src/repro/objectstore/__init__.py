@@ -1,0 +1,12 @@
+"""Chunk object storage (the Ceph/Lustre-backed substrate of Fig 2).
+
+DIESEL stores data chunks in a shared object store keyed by printable
+chunk IDs.  :class:`ObjectStore` really holds the bytes and charges
+device time; :class:`TieredStore` adds the server-side SSD cache in front
+of an HDD base tier (the "fast object-storage" path of Fig 4).
+"""
+
+from repro.objectstore.store import ObjectStore
+from repro.objectstore.tiered import TieredStore
+
+__all__ = ["ObjectStore", "TieredStore"]

@@ -1,0 +1,161 @@
+"""HDD base tier + SSD cache tier (the DIESEL server cache, Fig 4).
+
+Reads check the SSD tier first; on a miss the HDD serves the read and the
+chunk is promoted to SSD (evicting least-recently-used chunks when the
+SSD budget is exceeded) so subsequent epochs hit the fast tier — the
+"server cache" box in the paper's read flow.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Generator, Optional
+
+from repro.errors import ObjectNotFoundError
+from repro.cluster.devices import Device
+from repro.sim.engine import Event
+
+
+class TieredStats:
+    __slots__ = ("ssd_hits", "ssd_misses", "promotions", "evictions")
+
+    def __init__(self) -> None:
+        self.ssd_hits = 0
+        self.ssd_misses = 0
+        self.promotions = 0
+        self.evictions = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.ssd_hits + self.ssd_misses
+        return self.ssd_hits / total if total else 0.0
+
+
+class TieredStore:
+    """An object store facade over an SSD cache and an HDD base."""
+
+    def __init__(
+        self,
+        ssd: Device,
+        hdd: Device,
+        ssd_capacity_bytes: float = 1 * 2**40,
+        promote_on_miss: bool = True,
+    ) -> None:
+        if ssd_capacity_bytes <= 0:
+            raise ValueError("ssd capacity must be positive")
+        self.ssd = ssd
+        self.hdd = hdd
+        self.ssd_capacity_bytes = ssd_capacity_bytes
+        self.promote_on_miss = promote_on_miss
+        self._base: dict[str, bytes] = {}
+        #: LRU of keys resident on the SSD tier (value = size).
+        self._ssd_resident: "OrderedDict[str, int]" = OrderedDict()
+        self._ssd_used = 0
+        self.stats = TieredStats()
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._base
+
+    def __len__(self) -> int:
+        return len(self._base)
+
+    def in_ssd(self, key: str) -> bool:
+        return key in self._ssd_resident
+
+    def _peek(self, key: str) -> bytes:
+        try:
+            return self._base[key]
+        except KeyError:
+            raise ObjectNotFoundError(key) from None
+
+    def peek(self, key: str) -> bytes:
+        return self._peek(key)
+
+    def put(self, key: str, data: bytes) -> Generator[Event, Any, None]:
+        """Write to the base tier (writes go to HDD; cache fills on read)."""
+        yield from self.hdd.write(len(data))
+        self._base[key] = bytes(data)
+
+    def put_journaled(self, key: str, data: bytes):
+        """Write-back put (see :meth:`ObjectStore.put_journaled`)."""
+        self._base[key] = bytes(data)
+        return self.hdd.write(len(data))
+
+    def patch(self, key: str, data: bytes) -> None:
+        """In-place replace without device charge (see ObjectStore.patch)."""
+        self._peek(key)
+        self._base[key] = bytes(data)
+        if key in self._ssd_resident:
+            # Keep the cached copy coherent with the base tier.
+            self._ssd_resident[key] = len(data)
+
+    def _evict_to_fit(self, need: int) -> None:
+        while self._ssd_used + need > self.ssd_capacity_bytes and self._ssd_resident:
+            _, size = self._ssd_resident.popitem(last=False)
+            self._ssd_used -= size
+            self.stats.evictions += 1
+
+    def _promote(self, key: str, size: int) -> Generator[Event, Any, None]:
+        if size > self.ssd_capacity_bytes:
+            return  # object larger than the whole cache: never promote
+        self._evict_to_fit(size)
+        yield from self.ssd.write(size)
+        self._ssd_resident[key] = size
+        self._ssd_used += size
+        self.stats.promotions += 1
+
+    def get(self, key: str) -> Generator[Event, Any, bytes]:
+        """Read an object through the tier hierarchy."""
+        data = self._peek(key)
+        if key in self._ssd_resident:
+            self._ssd_resident.move_to_end(key)
+            self.stats.ssd_hits += 1
+            yield from self.ssd.read(len(data))
+            return data
+        self.stats.ssd_misses += 1
+        yield from self.hdd.read(len(data))
+        if self.promote_on_miss:
+            yield from self._promote(key, len(data))
+        return data
+
+    def get_range(
+        self, key: str, offset: int, length: int
+    ) -> Generator[Event, Any, bytes]:
+        """Range read through the tiers.
+
+        A miss promotes the *whole* object (Fig 4: "if a cache miss
+        occurs on the server-side, the server will start to cache the
+        dataset"), so subsequent small reads of the same chunk hit SSD.
+        """
+        data = self._peek(key)
+        if offset < 0 or length < 0 or offset + length > len(data):
+            raise ValueError("range outside object")
+        if key in self._ssd_resident:
+            self._ssd_resident.move_to_end(key)
+            self.stats.ssd_hits += 1
+            yield from self.ssd.read(length)
+        else:
+            self.stats.ssd_misses += 1
+            yield from self.hdd.read(length)
+            if self.promote_on_miss:
+                yield from self._promote(key, len(data))
+        return data[offset : offset + length]
+
+    def list_keys(self, after: Optional[str] = None) -> list[str]:
+        keys = sorted(self._base)
+        if after is not None:
+            import bisect
+
+            keys = keys[bisect.bisect_right(keys, after):]
+        return keys
+
+    def ssd_used_bytes(self) -> int:
+        return self._ssd_used
+
+    def load(self, items) -> None:
+        """Bulk-populate the base tier without simulated cost (fixtures)."""
+        for k, v in items:
+            self._base[k] = bytes(v)
+
+    def size_bytes(self) -> int:
+        return sum(len(v) for v in self._base.values())

@@ -1,0 +1,17 @@
+"""Thrift-like RPC layer over the simulated fabric.
+
+The paper uses Apache Thrift between DIESEL clients and servers and
+between cache peers (§5).  This package models an RPC as: client-side
+serialization → network transfer → FIFO service at the endpoint's worker
+pool → response transfer, all in simulated time, while the endpoint's
+*handler* runs real Python logic on real data.
+
+Connection accounting (:class:`ConnectionTable`) exists because the
+task-grained cache's headline design point is reducing the client mesh
+from n×(n−1) to p×(n−1) connections (§4.2, Fig 7).
+"""
+
+from repro.rpc.connections import ConnectionTable
+from repro.rpc.endpoint import RpcEndpoint, RpcStats
+
+__all__ = ["ConnectionTable", "RpcEndpoint", "RpcStats"]

@@ -1,0 +1,59 @@
+"""Connection accounting.
+
+§4.2 of the paper: a naive task-grained cache needs n×(n−1) peer
+connections (n = DIESEL client instances); electing one master client per
+physical node cuts this to p×(n−1) (p = physical nodes).  The table
+tracks live (client, server) pairs so tests and experiments can assert
+those exact counts and estimate per-connection memory overhead.
+"""
+
+from __future__ import annotations
+
+from repro.calibration import NetworkProfile
+
+
+class ConnectionTable:
+    """A registry of directed client→server connections."""
+
+    def __init__(self, profile: NetworkProfile | None = None) -> None:
+        self._conns: set[tuple[str, str]] = set()
+        self._profile = profile or NetworkProfile()
+
+    def connect(self, client: str, server: str) -> bool:
+        """Record a connection; returns False if it already existed."""
+        if client == server:
+            return False
+        key = (client, server)
+        if key in self._conns:
+            return False
+        self._conns.add(key)
+        return True
+
+    def disconnect(self, client: str, server: str) -> None:
+        self._conns.discard((client, server))
+
+    def drop_endpoint(self, name: str) -> int:
+        """Remove every connection touching ``name``; returns count dropped."""
+        dead = {c for c in self._conns if name in c}
+        self._conns -= dead
+        return len(dead)
+
+    def count(self) -> int:
+        return len(self._conns)
+
+    def fan_in(self, server: str) -> int:
+        """Number of clients connected to ``server``."""
+        return sum(1 for _, s in self._conns if s == server)
+
+    def fan_out(self, client: str) -> int:
+        return sum(1 for c, _ in self._conns if c == client)
+
+    def memory_overhead_bytes(self) -> int:
+        """Estimated aggregate memory pinned by connections."""
+        return self.count() * self._profile.connection_overhead_bytes
+
+    def __contains__(self, pair: tuple[str, str]) -> bool:
+        return pair in self._conns
+
+    def __repr__(self) -> str:
+        return f"ConnectionTable({self.count()} connections)"

@@ -1,0 +1,186 @@
+"""RPC endpoints: real handlers, simulated cost."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from repro.calibration import RpcProfile
+from repro.errors import NodeDownError
+from repro.cluster.network import NetworkFabric
+from repro.cluster.node import Node
+from repro.sim.engine import Environment, Event
+from repro.sim.resources import Resource
+
+
+class RpcStats:
+    """Cumulative per-endpoint call counters."""
+
+    __slots__ = ("calls", "request_bytes", "response_bytes", "errors",
+                 "busy_time")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.request_bytes = 0
+        self.response_bytes = 0
+        self.errors = 0
+        #: Total worker-seconds spent in service (for utilization).
+        self.busy_time = 0.0
+
+
+class RpcEndpoint:
+    """A named service bound to a node.
+
+    ``handler(method, *args)`` executes the service's real logic and
+    returns ``(result, response_bytes)``; if it returns a bare value the
+    response size is estimated from it.  ``service_time(method, nbytes)``
+    gives the server-side CPU cost per call (defaults to a constant).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        fabric: NetworkFabric,
+        node: Node,
+        name: str,
+        handler: Callable[..., Any],
+        service_s: float | Callable[[str, int], float] = 5e-6,
+        workers: int = 16,
+        profile: RpcProfile | None = None,
+    ) -> None:
+        self.env = env
+        self.fabric = fabric
+        self.node = node
+        self.name = name
+        self._handler = handler
+        self._service_s = service_s
+        self._pool = Resource(env, workers)
+        self.profile = profile or RpcProfile()
+        self.stats = RpcStats()
+        node.on_fail(self._on_node_fail)
+        self._up = True
+
+    @classmethod
+    def for_capacity(
+        cls,
+        env: Environment,
+        fabric: NetworkFabric,
+        node: Node,
+        name: str,
+        handler: Callable[..., Any],
+        qps: float,
+        latency_s: float,
+        profile: RpcProfile | None = None,
+        extra_service: Callable[[str, int], float] | None = None,
+    ) -> "RpcEndpoint":
+        """An endpoint with aggregate throughput ``qps`` and unloaded
+        per-call service latency ``latency_s``.
+
+        Little's law fixes the worker count: ``workers = qps × latency``
+        servers each taking ``latency`` per op give exactly ``qps``
+        aggregate at saturation while an unloaded call still costs only
+        ``latency`` — the property naive (workers, workers/qps) choices
+        get wrong.  ``extra_service(method, nbytes)`` adds per-call cost
+        (e.g. value-size terms) without changing the base capacity.
+        """
+        if qps <= 0 or latency_s <= 0:
+            raise ValueError("qps and latency_s must be positive")
+        workers = max(1, round(qps * latency_s))
+        base = workers / qps
+
+        def service(method: str, nbytes: int) -> float:
+            extra = extra_service(method, nbytes) if extra_service else 0.0
+            return base + extra
+
+        return cls(
+            env, fabric, node, name,
+            handler=handler, service_s=service, workers=workers,
+            profile=profile,
+        )
+
+    def _on_node_fail(self) -> None:
+        self._up = False
+
+    @property
+    def up(self) -> bool:
+        return self._up and self.node.alive
+
+    def _service_time(self, method: str, nbytes: int) -> float:
+        if callable(self._service_s):
+            return self._service_s(method, nbytes)
+        return self._service_s
+
+    @staticmethod
+    def _sizeof(value: Any) -> int:
+        if value is None:
+            return 16
+        if isinstance(value, (bytes, bytearray, memoryview)):
+            return len(value)
+        if isinstance(value, str):
+            return len(value.encode("utf-8"))
+        if isinstance(value, (list, tuple, set, frozenset)):
+            return 16 + sum(RpcEndpoint._sizeof(v) for v in value)
+        if isinstance(value, dict):
+            return 16 + sum(
+                RpcEndpoint._sizeof(k) + RpcEndpoint._sizeof(v)
+                for k, v in value.items()
+            )
+        return 32
+
+    def call(
+        self,
+        client: Node,
+        method: str,
+        *args: Any,
+        request_bytes: int = 128,
+        response_bytes: Optional[int] = None,
+    ) -> Generator[Event, Any, Any]:
+        """Invoke ``method`` from ``client``; returns the handler's result.
+
+        Charges, in order: client serialization, request transfer, queueing
+        + service at the endpoint, response serialization, response
+        transfer.  Raises :class:`NodeDownError` if the endpoint's node is
+        down at dispatch or dies while the call is in flight.
+        """
+        if not self.up:
+            raise NodeDownError(self.node.name, f"endpoint {self.name!r} down")
+        prof = self.profile
+        # Client-side marshalling.
+        yield self.env.timeout(prof.per_call_s + request_bytes * prof.per_byte_s)
+        yield from self.fabric.transfer(client, self.node, request_bytes)
+        if not self.up:
+            raise NodeDownError(self.node.name, f"endpoint {self.name!r} down")
+        # Server-side queue + service; the handler's real logic runs when
+        # the worker picks the request up.
+        req = self._pool.request()
+        yield req
+        try:
+            try:
+                result = self._handler(method, *args)
+                if hasattr(result, "send") and hasattr(result, "throw"):
+                    # Generator handler: the worker thread drives server-side
+                    # simulated I/O (device reads, nested RPCs) while holding
+                    # its pool slot — a blocked thread, as in a real server.
+                    result = yield from result
+            except Exception:
+                self.stats.errors += 1
+                raise
+            resp_nbytes = (
+                response_bytes if response_bytes is not None else self._sizeof(result)
+            )
+            service = self._service_time(method, resp_nbytes)
+            yield self.env.timeout(service)
+            self.stats.busy_time += service
+        finally:
+            self._pool.release(req)
+        if not self.up:
+            raise NodeDownError(self.node.name, f"endpoint {self.name!r} down")
+        # Response marshalling + transfer back.
+        yield self.env.timeout(prof.per_call_s + resp_nbytes * prof.per_byte_s)
+        yield from self.fabric.transfer(self.node, client, resp_nbytes)
+        self.stats.calls += 1
+        self.stats.request_bytes += request_bytes
+        self.stats.response_bytes += resp_nbytes
+        return result
+
+    def __repr__(self) -> str:
+        return f"RpcEndpoint({self.name!r} on {self.node.name!r})"

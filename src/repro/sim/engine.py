@@ -1,0 +1,378 @@
+"""Event loop, events and generator-based processes.
+
+The design follows the classic DES structure: a binary heap of
+``(time, seq, event)`` entries; an :class:`Event` fires its callbacks when
+popped; a :class:`Process` wraps a generator whose ``yield``-ed events
+decide when it resumes.  ``return value`` inside a process generator
+becomes the process's :attr:`~Event.value`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import DeadlockError, InterruptError, SimulationError
+
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence at a point in simulated time.
+
+    Life cycle: *pending* → *triggered* (``succeed``/``fail`` called and the
+    event scheduled) → *processed* (callbacks ran).  Callbacks receive the
+    event itself.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_processed")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[list[Callable[[Event], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        self._processed = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        if self._value is _PENDING:
+            raise SimulationError("event has not been triggered yet")
+        return bool(self._ok)
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError("event has not been triggered yet")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully; schedules callback delivery now."""
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception."""
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self)
+        return self
+
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        self._processed = True
+        assert callbacks is not None
+        for cb in callbacks:
+            cb(self)
+
+    def __repr__(self) -> str:
+        state = (
+            "pending"
+            if not self.triggered
+            else ("ok" if self._ok else "failed")
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay)
+
+
+class _Initialize(Event):
+    """Internal: kicks a new process on the current tick."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process") -> None:
+        super().__init__(env)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        env._schedule(self)
+
+
+class Process(Event):
+    """A running generator; also an event that triggers when it finishes."""
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator[Event, Any, Any],
+        name: str = "",
+    ) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(
+                f"process requires a generator, got {type(generator).__name__}"
+            )
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        _Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._value is _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`InterruptError` into the process at the current time."""
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+        if self.env._active_process is self:
+            raise SimulationError("a process cannot interrupt itself")
+        # Detach from whatever the process was waiting on.
+        target = self._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        interrupt_evt = Event(self.env)
+        interrupt_evt.callbacks.append(self._resume)
+        interrupt_evt.fail(InterruptError(cause))
+
+    def _resume(self, event: Event) -> None:
+        self.env._active_process = self
+        try:
+            if event._ok:
+                next_evt = self._generator.send(event._value)
+            else:
+                # Failed event: raise inside the generator.  Mark the
+                # exception as handled there; if it propagates out of the
+                # generator, it fails this process instead.
+                next_evt = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self.env._active_process = None
+            self._target = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.env._active_process = None
+            self._target = None
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            self.fail(exc)
+            return
+        self.env._active_process = None
+
+        if not isinstance(next_evt, Event):
+            exc = SimulationError(
+                f"process {self.name!r} yielded a non-event: {next_evt!r}"
+            )
+            self._generator.close()
+            self._target = None
+            self.fail(exc)
+            return
+        self._target = next_evt
+        if next_evt.callbacks is None:
+            # Already processed: resume immediately on the current tick.
+            bridge = Event(self.env)
+            bridge.callbacks.append(self._resume)
+            if next_evt._ok:
+                bridge.succeed(next_evt._value)
+            else:
+                bridge.fail(next_evt._value)
+        else:
+            next_evt.callbacks.append(self._resume)
+
+    def __repr__(self) -> str:
+        return f"<Process {self.name!r} {'alive' if self.is_alive else 'done'}>"
+
+
+class _Condition(Event):
+    """Base for AllOf / AnyOf composite events."""
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self.events = tuple(events)
+        for evt in self.events:
+            if evt.env is not env:
+                raise SimulationError("cannot mix events from different environments")
+        self._remaining = len(self.events)
+        if not self.events:
+            self.succeed(self._collect())
+            return
+        for evt in self.events:
+            if evt.callbacks is None:
+                self._on_child(evt)
+                if self.triggered:
+                    break
+            else:
+                evt.callbacks.append(self._on_child)
+
+    def _collect(self) -> dict[Event, Any]:
+        # Only *processed* events count: a Timeout carries its value from
+        # creation, but it has not "happened" until the loop delivers it.
+        return {e: e._value for e in self.events if e._processed and e._ok}
+
+    def _on_child(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Triggers when every child event has triggered (fails fast on error)."""
+
+    __slots__ = ()
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed(self._collect())
+
+
+class AnyOf(_Condition):
+    """Triggers when the first child event triggers."""
+
+    __slots__ = ()
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self.succeed(self._collect())
+
+
+class Environment:
+    """The simulation kernel: clock + event heap + process registry."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+        #: Optional event observer (see repro.sim.trace.Tracer.attach).
+        self._tracer = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+        self._seq += 1
+
+    # -- public factories -------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(
+        self, generator: Generator[Event, Any, Any], name: str = ""
+    ) -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- execution ---------------------------------------------------------
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        if not self._heap:
+            raise DeadlockError("event queue is empty")
+        t, _, event = heapq.heappop(self._heap)
+        if t < self._now:
+            raise SimulationError("scheduled time is in the past")
+        self._now = t
+        if self._tracer is not None:
+            self._tracer.observe(t, event)
+        event._run_callbacks()
+
+    def peek(self) -> float:
+        """Time of the next event, or ``float('inf')`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def run(self, until: "float | Event | None" = None) -> Any:
+        """Run the loop.
+
+        * ``until=None``: run until the queue drains; returns ``None``.
+        * numeric ``until``: run until simulated time reaches it.
+        * ``until=event``: run until the event triggers; returns/raises the
+          event's value.  Raises :class:`DeadlockError` if the queue drains
+          first.
+        """
+        if until is None:
+            while self._heap:
+                self.step()
+            return None
+        if isinstance(until, Event):
+            sentinel = until
+            while not sentinel.triggered:
+                if not self._heap:
+                    raise DeadlockError(
+                        f"simulation ran dry before {sentinel!r} triggered"
+                    )
+                self.step()
+            if sentinel._ok:
+                return sentinel._value
+            raise sentinel._value
+        deadline = float(until)
+        if deadline < self._now:
+            raise SimulationError(
+                f"run(until={deadline}) is in the past (now={self._now})"
+            )
+        while self._heap and self._heap[0][0] <= deadline:
+            self.step()
+        self._now = deadline
+        return None
+
+
+def run_sync(
+    env: Environment, generator: Generator[Event, Any, Any], name: str = ""
+) -> Any:
+    """Run ``generator`` as a process to completion and return its value.
+
+    Convenience for tests and for the synchronous client facade: drives
+    the environment until the process finishes (other concurrently
+    scheduled processes advance too).
+    """
+    proc = env.process(generator, name=name)
+    return env.run(until=proc)

@@ -1,0 +1,207 @@
+"""Contention primitives: Resource, Container, Store.
+
+These model the shared hardware and software capacities in the cluster:
+a :class:`Resource` with capacity *k* is a k-server FIFO queueing station
+(device queue depths, server worker pools, RPC service threads); a
+:class:`Container` tracks a divisible quantity (memory bytes); a
+:class:`Store` is a FIFO queue of Python objects (mailboxes, request
+queues).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator
+
+from repro.errors import SimulationError
+from repro.sim.engine import Environment, Event
+
+
+class Request(Event):
+    """A pending or granted claim on one slot of a :class:`Resource`."""
+
+    __slots__ = ("resource", "cancelled")
+
+    def __init__(self, env: Environment, resource: "Resource") -> None:
+        super().__init__(env)
+        self.resource = resource
+        self.cancelled = False
+
+
+class Resource:
+    """A FIFO multi-server resource.
+
+    Usage inside a process::
+
+        req = resource.request()
+        yield req
+        try:
+            yield env.timeout(service_time)
+        finally:
+            resource.release(req)
+
+    or equivalently ``yield from resource.use(service_time)``.
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._users: set[Request] = set()
+        self._queue: Deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of granted slots."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of waiting requests."""
+        return len(self._queue)
+
+    def request(self) -> Request:
+        req = Request(self.env, self)
+        if len(self._users) < self.capacity:
+            self._users.add(req)
+            req.succeed()
+        else:
+            self._queue.append(req)
+        return req
+
+    def cancel(self, request: Request) -> None:
+        """Withdraw a not-yet-granted request (no-op if already granted)."""
+        if request in self._users:
+            return
+        request.cancelled = True
+
+    def release(self, request: Request) -> None:
+        if request not in self._users:
+            raise SimulationError("releasing a request that does not hold the resource")
+        self._users.remove(request)
+        while self._queue:
+            nxt = self._queue.popleft()
+            if nxt.cancelled:
+                continue
+            self._users.add(nxt)
+            nxt.succeed()
+            break
+
+    def use(self, duration: float) -> Generator[Event, Any, None]:
+        """Acquire one slot, hold it for ``duration``, release it."""
+        req = self.request()
+        yield req
+        try:
+            yield self.env.timeout(duration)
+        finally:
+            self.release(req)
+
+
+class Container:
+    """A divisible quantity with blocking get/put (e.g. bytes of memory)."""
+
+    def __init__(
+        self,
+        env: Environment,
+        capacity: float = float("inf"),
+        init: float = 0.0,
+    ) -> None:
+        if capacity <= 0:
+            raise SimulationError("container capacity must be positive")
+        if not 0 <= init <= capacity:
+            raise SimulationError("initial level must be within [0, capacity]")
+        self.env = env
+        self.capacity = capacity
+        self._level = float(init)
+        self._getters: Deque[tuple[Event, float]] = deque()
+        self._putters: Deque[tuple[Event, float]] = deque()
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def get(self, amount: float) -> Event:
+        """Event that fires once ``amount`` has been withdrawn."""
+        if amount < 0:
+            raise SimulationError("get amount must be non-negative")
+        evt = Event(self.env)
+        self._getters.append((evt, amount))
+        self._settle()
+        return evt
+
+    def put(self, amount: float) -> Event:
+        """Event that fires once ``amount`` has been deposited."""
+        if amount < 0:
+            raise SimulationError("put amount must be non-negative")
+        if amount > self.capacity:
+            raise SimulationError("put amount exceeds container capacity")
+        evt = Event(self.env)
+        self._putters.append((evt, amount))
+        self._settle()
+        return evt
+
+    def _settle(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            if self._putters:
+                evt, amount = self._putters[0]
+                if self._level + amount <= self.capacity:
+                    self._putters.popleft()
+                    self._level += amount
+                    evt.succeed()
+                    progress = True
+            if self._getters:
+                evt, amount = self._getters[0]
+                if amount <= self._level:
+                    self._getters.popleft()
+                    self._level -= amount
+                    evt.succeed()
+                    progress = True
+
+
+class Store:
+    """A FIFO queue of items with blocking get and optional capacity."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf")) -> None:
+        if capacity < 1:
+            raise SimulationError("store capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> tuple[Any, ...]:
+        return tuple(self._items)
+
+    def put(self, item: Any) -> Event:
+        evt = Event(self.env)
+        self._putters.append((evt, item))
+        self._settle()
+        return evt
+
+    def get(self) -> Event:
+        evt = Event(self.env)
+        self._getters.append(evt)
+        self._settle()
+        return evt
+
+    def _settle(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            while self._putters and len(self._items) < self.capacity:
+                evt, item = self._putters.popleft()
+                self._items.append(item)
+                evt.succeed()
+                progress = True
+            while self._getters and self._items:
+                evt = self._getters.popleft()
+                evt.succeed(self._items.popleft())
+                progress = True

@@ -1,0 +1,6 @@
+"""User-facing tools: the DLCMD command-line client (§5) and workspace
+persistence."""
+
+from repro.tools.workspace import DieselWorkspace
+
+__all__ = ["DieselWorkspace"]

@@ -1,0 +1,208 @@
+"""DLCMD — the dataset management command-line tool (paper §5).
+
+"A separate command-line tool (DLCMD, similar to s3cmd in Amazon S3) is
+provided to write and manage the datasets in DIESEL."
+
+Operates on a workspace file (``--workspace``, default
+``./diesel.workspace``), which persists datasets as self-contained
+chunks; metadata is rebuilt from chunk headers on every open.
+
+Subcommands::
+
+    dlcmd put <local-file-or-dir> <diesel-path>   upload file(s)
+    dlcmd get <diesel-path> <local-file>          download one file
+    dlcmd ls [<diesel-dir>]                       list a directory
+    dlcmd stat <diesel-path>                      file/dir metadata
+    dlcmd rm <diesel-path>                        tombstone one file
+    dlcmd purge                                   rewrite holey chunks
+    dlcmd save-meta <local-file>                  export the snapshot
+    dlcmd datasets                                list datasets
+    dlcmd info                                    workspace summary
+
+Every data-mutating command rewrites the workspace file.
+
+Run:  python -m repro.tools.dlcmd --help
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.tools.workspace import DieselWorkspace
+from repro.util.units import format_bytes
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dlcmd",
+        description="DIESEL dataset management tool (paper §5)",
+    )
+    parser.add_argument(
+        "--workspace", "-w", default="diesel.workspace",
+        help="workspace file holding the datasets (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--dataset", "-d", default="default",
+        help="dataset name to operate on (default: %(default)s)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("put", help="upload a file or directory")
+    p.add_argument("source", help="local file or directory")
+    p.add_argument("dest", help="destination path inside the dataset")
+
+    p = sub.add_parser("get", help="download one file")
+    p.add_argument("path", help="path inside the dataset")
+    p.add_argument("dest", help="local destination file")
+
+    p = sub.add_parser("ls", help="list a directory")
+    p.add_argument("path", nargs="?", default="/", help="directory to list")
+    p.add_argument("-l", "--long", action="store_true",
+                   help="include sizes (stat each entry)")
+
+    p = sub.add_parser("stat", help="show one entry's metadata")
+    p.add_argument("path")
+
+    p = sub.add_parser("rm", help="delete (tombstone) one file")
+    p.add_argument("path")
+
+    sub.add_parser("purge", help="rewrite chunks with deletion holes")
+
+    p = sub.add_parser("save-meta", help="export the metadata snapshot")
+    p.add_argument("dest", help="local file for the snapshot blob")
+
+    sub.add_parser("datasets", help="list datasets in the workspace")
+    sub.add_parser("info", help="workspace summary")
+    return parser
+
+
+def _iter_local_files(source: Path) -> Iterable[tuple[Path, str]]:
+    """(local path, relative name) pairs for a file or directory tree."""
+    if source.is_file():
+        yield source, source.name
+        return
+    for p in sorted(source.rglob("*")):
+        if p.is_file():
+            yield p, p.relative_to(source).as_posix()
+
+
+def cmd_put(ws: DieselWorkspace, dataset: str, args) -> str:
+    source = Path(args.source)
+    if not source.exists():
+        raise ReproError(f"no such local file or directory: {source}")
+    client = ws.client(dataset)
+    count = total = 0
+    if source.is_file():
+        data = source.read_bytes()
+        client.put(args.dest, data)
+        count, total = 1, len(data)
+    else:
+        for local, rel in _iter_local_files(source):
+            data = local.read_bytes()
+            client.put(f"{args.dest.rstrip('/')}/{rel}", data)
+            count += 1
+            total += len(data)
+    client.flush()
+    return f"uploaded {count} file(s), {format_bytes(total)}"
+
+
+def cmd_get(ws: DieselWorkspace, dataset: str, args) -> str:
+    data = ws.client(dataset).get(args.path)
+    Path(args.dest).write_bytes(data)
+    return f"{args.path} -> {args.dest} ({format_bytes(len(data))})"
+
+
+def cmd_ls(ws: DieselWorkspace, dataset: str, args) -> str:
+    client = ws.client(dataset)
+    entries = client.ls(args.path)
+    if not args.long:
+        return "\n".join(entries) if entries else "(empty)"
+    lines = []
+    base = args.path.rstrip("/")
+    for name in entries:
+        full = name if name.startswith("/") else f"{base}/{name}"
+        info = client.stat(full)
+        kind = "d" if info["is_dir"] else "-"
+        lines.append(f"{kind} {info['size']:>12}  {name}")
+    return "\n".join(lines) if lines else "(empty)"
+
+
+def cmd_stat(ws: DieselWorkspace, dataset: str, args) -> str:
+    info = ws.client(dataset).stat(args.path)
+    kind = "directory" if info["is_dir"] else "file"
+    lines = [f"path:  {info['path']}", f"type:  {kind}",
+             f"size:  {info['size']}"]
+    if info.get("chunk_id"):
+        lines.append(f"chunk: {info['chunk_id']}")
+    return "\n".join(lines)
+
+
+def cmd_rm(ws: DieselWorkspace, dataset: str, args) -> str:
+    ws.client(dataset).delete(args.path)
+    return f"deleted {args.path} (tombstoned; run purge to reclaim space)"
+
+
+def cmd_purge(ws: DieselWorkspace, dataset: str, args) -> str:
+    rewritten = ws.client(dataset).purge()
+    return f"purge rewrote {rewritten} chunk(s)"
+
+
+def cmd_save_meta(ws: DieselWorkspace, dataset: str, args) -> str:
+    blob = ws.client(dataset).save_meta()
+    Path(args.dest).write_bytes(blob)
+    return f"snapshot saved to {args.dest} ({format_bytes(len(blob))})"
+
+
+def cmd_datasets(ws: DieselWorkspace, dataset: str, args) -> str:
+    names = ws.datasets()
+    return "\n".join(names) if names else "(no datasets)"
+
+
+def cmd_info(ws: DieselWorkspace, dataset: str, args) -> str:
+    store = ws.tb.store
+    lines = [
+        f"datasets:     {len(ws.datasets())} ({', '.join(ws.datasets()) or '-'})",
+        f"chunks:       {len(store)}",
+        f"chunk bytes:  {format_bytes(store.size_bytes())}",
+        f"kv pairs:     {ws.tb.kv.total_keys()}",
+    ]
+    return "\n".join(lines)
+
+
+_COMMANDS = {
+    "put": (cmd_put, True),
+    "get": (cmd_get, False),
+    "ls": (cmd_ls, False),
+    "stat": (cmd_stat, False),
+    "rm": (cmd_rm, True),
+    "purge": (cmd_purge, True),
+    "save-meta": (cmd_save_meta, False),
+    "datasets": (cmd_datasets, False),
+    "info": (cmd_info, False),
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handler, mutates = _COMMANDS[args.command]
+    try:
+        ws = DieselWorkspace.open(args.workspace)
+        message = handler(ws, args.dataset, args)
+        if mutates:
+            ws.save(args.workspace)
+    except ReproError as exc:
+        print(f"dlcmd: error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"dlcmd: error: {exc}", file=sys.stderr)
+        return 1
+    print(message)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,80 @@
+"""Dataset path handling.
+
+DIESEL stores *full file names* in key-value pairs and rebuilds the
+directory hierarchy from them on demand (§4.1.1, §4.1.3).  Paths inside a
+dataset are absolute, ``/``-separated, with no ``.``/``..`` components —
+this module canonicalizes user input into that form.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+
+def normalize(path: str) -> str:
+    """Canonicalize ``path`` to ``/a/b/c`` form.
+
+    >>> normalize("a//b/./c")
+    '/a/b/c'
+    >>> normalize("/")
+    '/'
+    """
+    if not isinstance(path, str):
+        raise TypeError(f"path must be str, got {type(path).__name__}")
+    parts = []
+    for part in path.split("/"):
+        if part in ("", "."):
+            continue
+        if part == "..":
+            raise ValueError(f"path may not contain '..': {path!r}")
+        parts.append(part)
+    return "/" + "/".join(parts)
+
+
+def split(path: str) -> tuple[str, ...]:
+    """Split a normalized path into components (root → empty tuple)."""
+    norm = normalize(path)
+    if norm == "/":
+        return ()
+    return tuple(norm[1:].split("/"))
+
+
+def join(*parts: str) -> str:
+    """Join components into a normalized path."""
+    return normalize("/".join(parts))
+
+
+def dirname(path: str) -> str:
+    """Parent directory of a normalized path (root's parent is root)."""
+    comps = split(path)
+    if len(comps) <= 1:
+        return "/"
+    return "/" + "/".join(comps[:-1])
+
+
+def basename(path: str) -> str:
+    """Final component ('' for root)."""
+    comps = split(path)
+    return comps[-1] if comps else ""
+
+
+def iter_ancestors(path: str) -> Iterator[str]:
+    """Yield every proper ancestor directory, nearest first, ending at '/'.
+
+    >>> list(iter_ancestors("/a/b/c"))
+    ['/a/b', '/a', '/']
+    """
+    comps = split(path)
+    for i in range(len(comps) - 1, 0, -1):
+        yield "/" + "/".join(comps[:i])
+    if comps:
+        yield "/"
+
+
+def is_under(path: str, directory: str) -> bool:
+    """True if ``path`` is strictly inside ``directory``."""
+    d = normalize(directory)
+    p = normalize(path)
+    if d == "/":
+        return p != "/"
+    return p.startswith(d + "/")

@@ -1,0 +1,26 @@
+"""Synthetic dataset workloads standing in for ImageNet-1K / CIFAR-10.
+
+The paper's I/O experiments use "hundreds of millions of files with
+random contents" plus the real ImageNet-1K/CIFAR-10 datasets (§6).  Only
+file *counts, sizes and directory shapes* affect I/O behaviour, so these
+generators synthesize datasets with the same shape parameters, with
+content that is deterministic, seeded, and self-verifying (each file
+embeds a checksum, mirroring the paper's MPI read-back verification).
+"""
+
+from repro.workloads.datasets import (
+    CIFAR10,
+    IMAGENET_1K,
+    OPEN_IMAGES,
+    DatasetSpec,
+)
+from repro.workloads.filegen import generate_file, verify_file
+
+__all__ = [
+    "CIFAR10",
+    "DatasetSpec",
+    "IMAGENET_1K",
+    "OPEN_IMAGES",
+    "generate_file",
+    "verify_file",
+]

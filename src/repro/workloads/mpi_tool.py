@@ -1,0 +1,207 @@
+"""The paper's MPI file-operation tool, reproduced (§6.1).
+
+"We use our own MPI tool to execute file operations (writing/reading)
+concurrently on multiple nodes to simulate the I/O patterns of real DLT
+training frameworks.  Specifically, we divide a list of file names
+evenly among MPI processes, and let each process write random contents
+and a hash code to the files.  Then in the reading tests, each process
+reads files and checks the contents as well as the hash code for
+correctness."
+
+:class:`MpiIoTool` does exactly that against any backend implementing
+the small :class:`IoBackend` protocol (adapters for DIESEL, Lustre and
+Memcached included).  It returns throughput plus a verification report —
+corrupted or missing files are counted, never silently ignored.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Generator, List, Optional, Protocol, Sequence
+
+from repro.cluster.node import Node
+from repro.sim.engine import Environment, Event
+from repro.workloads.filegen import generate_file, verify_file
+
+
+class IoBackend(Protocol):  # pragma: no cover - typing aid
+    """What the tool needs from a storage system."""
+
+    def write(self, rank_node: Node, path: str, data: bytes
+              ) -> Generator[Event, Any, None]: ...
+
+    def read(self, rank_node: Node, path: str
+             ) -> Generator[Event, Any, Optional[bytes]]: ...
+
+    def finalize_writes(self, rank_node: Node
+                        ) -> Generator[Event, Any, None]: ...
+
+
+@dataclass
+class MpiReport:
+    """One phase's outcome."""
+
+    phase: str
+    files: int
+    bytes: int
+    elapsed_s: float
+    verified_ok: int = 0
+    corrupted: int = 0
+    missing: int = 0
+
+    @property
+    def files_per_s(self) -> float:
+        return self.files / self.elapsed_s if self.elapsed_s else float("inf")
+
+    @property
+    def bandwidth_bps(self) -> float:
+        return self.bytes / self.elapsed_s if self.elapsed_s else float("inf")
+
+    @property
+    def clean(self) -> bool:
+        return self.corrupted == 0 and self.missing == 0
+
+
+@dataclass
+class MpiIoTool:
+    """Divide a file list among ranks; run write then read-verify phases."""
+
+    env: Environment
+    backend: IoBackend
+    rank_nodes: Sequence[Node]  # node each rank runs on (len == n_ranks)
+    paths: Sequence[str]
+    file_size: int = 4096
+    seed: int = 0
+    _assignments: List[List[str]] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not self.rank_nodes:
+            raise ValueError("need at least one rank")
+        n = len(self.rank_nodes)
+        # Even round-robin division, as in the paper's tool.
+        self._assignments = [list(self.paths[r::n]) for r in range(n)]
+
+    @property
+    def n_ranks(self) -> int:
+        return len(self.rank_nodes)
+
+    def assignment(self, rank: int) -> List[str]:
+        return list(self._assignments[rank])
+
+    def _content(self, path: str) -> bytes:
+        return generate_file(path, self.file_size, self.seed)
+
+    # ----------------------------------------------------------- phases
+    def run_write_phase(self) -> MpiReport:
+        """All ranks write their files concurrently; barrier at the end."""
+        t0 = self.env.now
+
+        def rank_proc(rank: int):
+            node = self.rank_nodes[rank]
+            for path in self._assignments[rank]:
+                yield from self.backend.write(node, path, self._content(path))
+            yield from self.backend.finalize_writes(node)
+
+        procs = [
+            self.env.process(rank_proc(r), name=f"mpi-w{r}")
+            for r in range(self.n_ranks)
+        ]
+        self.env.run(until=self.env.all_of(procs))
+        return MpiReport(
+            phase="write",
+            files=len(self.paths),
+            bytes=len(self.paths) * self.file_size,
+            elapsed_s=self.env.now - t0,
+        )
+
+    def run_read_phase(self, shuffled: bool = True) -> MpiReport:
+        """All ranks read + verify their files (shuffled order, like DLT)."""
+        t0 = self.env.now
+        tallies = {"ok": 0, "corrupted": 0, "missing": 0}
+
+        def rank_proc(rank: int):
+            node = self.rank_nodes[rank]
+            order = list(self._assignments[rank])
+            if shuffled:
+                random.Random(self.seed + rank).shuffle(order)
+            for path in order:
+                data = yield from self.backend.read(node, path)
+                if data is None:
+                    tallies["missing"] += 1
+                elif data != self._content(path) or not verify_file(data):
+                    tallies["corrupted"] += 1
+                else:
+                    tallies["ok"] += 1
+
+        procs = [
+            self.env.process(rank_proc(r), name=f"mpi-r{r}")
+            for r in range(self.n_ranks)
+        ]
+        self.env.run(until=self.env.all_of(procs))
+        return MpiReport(
+            phase="read",
+            files=len(self.paths),
+            bytes=len(self.paths) * self.file_size,
+            elapsed_s=self.env.now - t0,
+            verified_ok=tallies["ok"],
+            corrupted=tallies["corrupted"],
+            missing=tallies["missing"],
+        )
+
+
+# ------------------------------------------------------------- adapters
+class DieselBackend:
+    """Adapter over per-rank DIESEL clients."""
+
+    def __init__(self, clients) -> None:
+        self._by_node = {}
+        for c in clients:
+            self._by_node.setdefault(c.node.name, c)
+
+    def _client(self, node: Node):
+        return self._by_node[node.name]
+
+    def write(self, node: Node, path: str, data: bytes):
+        yield from self._client(node).put(path, data)
+
+    def read(self, node: Node, path: str):
+        data = yield from self._client(node).get(path)
+        return data
+
+    def finalize_writes(self, node: Node):
+        yield from self._client(node).flush()
+
+
+class LustreBackend:
+    """Adapter over the Lustre baseline."""
+
+    def __init__(self, fs) -> None:
+        self.fs = fs
+
+    def write(self, node: Node, path: str, data: bytes):
+        yield from self.fs.write_file(node, path, data)
+
+    def read(self, node: Node, path: str):
+        data = yield from self.fs.read_file(node, path)
+        return data
+
+    def finalize_writes(self, node: Node):
+        yield self.fs.env.timeout(0)
+
+
+class MemcachedBackend:
+    """Adapter over the Memcached cluster (misses read as missing)."""
+
+    def __init__(self, cluster) -> None:
+        self.cluster = cluster
+
+    def write(self, node: Node, path: str, data: bytes):
+        yield from self.cluster.set(node, path, data)
+
+    def read(self, node: Node, path: str):
+        data = yield from self.cluster.get(node, path)
+        return data
+
+    def finalize_writes(self, node: Node):
+        yield self.cluster.env.timeout(0)

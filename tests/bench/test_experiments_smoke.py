@@ -1,0 +1,86 @@
+"""Fast smoke tests of every experiment function at reduced scale.
+
+The full-scale runs live in ``benchmarks/``; these scaled-down variants
+keep `pytest tests/` self-contained — every artifact still executes and
+its most basic shape property still holds.
+"""
+
+import pytest
+
+from repro.bench import experiments as E
+from repro.calibration import KB
+
+
+class TestExperimentSmoke:
+    def test_table2(self):
+        r = E.table2_read_bandwidth(reads_per_size=20)
+        assert len(r.rows) == 7
+
+    def test_fig6(self):
+        r = E.fig6_cache_degradation(
+            n_servers=6, n_clients=8, files_per_iteration=8,
+            iterations=20, kill_at=(8,), n_files=200,
+        )
+        assert len(r.rows) == 20
+        assert r.rows[-1]["hit_ratio"] < 1.0
+
+    def test_fig9(self):
+        r = E.fig9_write_throughput(files_per_proc=20, procs_per_node=4,
+                                    sizes=(4 * KB,))
+        row = r.one(file_size=4 * KB)
+        assert row["diesel_files_per_s"] > row["lustre_files_per_s"]
+
+    def test_fig10a(self):
+        r = E.fig10a_metadata_scaling(
+            server_counts=(1,), node_counts=(1, 4),
+            threads_per_node=8, queries_per_thread=20,
+        )
+        assert r.one(servers=1, client_nodes=4)["qps"] >= \
+            r.one(servers=1, client_nodes=1)["qps"]
+
+    def test_fig10b(self):
+        r = E.fig10b_snapshot_scaling(node_counts=(1, 2))
+        assert r.rows[1]["qps"] == pytest.approx(2 * r.rows[0]["qps"],
+                                                 rel=0.01)
+
+    def test_fig10c(self):
+        r = E.fig10c_ls_elapsed(n_files=400, n_dirs=20)
+        lustre = r.one(system="lustre")
+        assert lustre["ls_lR_seconds"] > lustre["ls_R_seconds"]
+
+    def test_fig11a(self):
+        r = E.fig11a_read_scaling(node_counts=(1,), clients_per_node=4,
+                                  reads_per_client=10, n_files=200)
+        row = r.rows[0]
+        assert row["diesel_api_qps"] > row["lustre_qps"]
+
+    def test_fig11b(self):
+        r = E.fig11b_cache_recovery(n_files=300, n_nodes=2)
+        assert any(x["system"] == "diesel" for x in r.rows)
+        assert any(x["system"] == "memcached" for x in r.rows)
+
+    def test_fig12(self):
+        r = E.fig12_shuffle_bandwidth(
+            n_nodes=2, threads_per_node=4, sizes=(4 * KB,),
+            files_per_thread=15,
+        )
+        row = r.one(file_size=4 * KB)
+        assert row["diesel_api_mbps"] > row["lustre_mbps"]
+
+    def test_fig13(self):
+        r = E.fig13_shuffle_accuracy(n_samples=800, epochs=6,
+                                     group_sizes=(4,))
+        assert {x["strategy"] for x in r.rows} == {"shuffle dataset",
+                                                   "chunk-wise g=4"}
+
+    def test_fig14(self):
+        r = E.fig14_data_access_time(models=("alexnet",), epochs=2,
+                                     n_files=300)
+        lus = r.one(model="alexnet", system="lustre")
+        dfu = r.one(model="alexnet", system="diesel-fuse")
+        assert dfu["mean_fetch_s"] < lus["mean_fetch_s"]
+
+    def test_fig15(self):
+        r = E.fig15_training_time(models=("alexnet",), epochs=2,
+                                  n_files=300)
+        assert r.one(model="alexnet")["normalized_total"] < 1.0

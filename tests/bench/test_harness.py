@@ -1,0 +1,88 @@
+"""Tests for the experiment harness and reporting helpers."""
+
+import pytest
+
+from repro.bench.harness import ExperimentResult, timer
+from repro.bench.reporting import format_result, format_table, ratio, shape_check
+
+
+class TestExperimentResult:
+    def make(self):
+        r = ExperimentResult("test exp", "Fig 0")
+        r.add(system="a", size=4, qps=100.0)
+        r.add(system="b", size=4, qps=50.0)
+        r.add(system="a", size=8, qps=80.0)
+        return r
+
+    def test_add_and_column(self):
+        r = self.make()
+        assert r.column("qps") == [100.0, 50.0, 80.0]
+
+    def test_where(self):
+        r = self.make()
+        assert len(r.where(system="a")) == 2
+        assert r.where(system="a", size=8)[0]["qps"] == 80.0
+        assert r.where(system="zzz") == []
+
+    def test_one(self):
+        r = self.make()
+        assert r.one(system="b")["qps"] == 50.0
+        with pytest.raises(LookupError):
+            r.one(system="a")  # two matches
+        with pytest.raises(LookupError):
+            r.one(system="none")  # zero matches
+
+    def test_notes(self):
+        r = self.make()
+        r.note("hello")
+        assert r.notes == ["hello"]
+
+    def test_timer(self):
+        r = ExperimentResult("t", "x")
+        with timer(r):
+            sum(range(10000))
+        assert r.wall_seconds > 0
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        rows = [{"name": "a", "value": 1234.5678}, {"name": "bb", "value": 2}]
+        out = format_table(rows, title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_format_table_heterogeneous_columns(self):
+        rows = [{"a": 1}, {"b": 2}]
+        out = format_table(rows)
+        assert "a" in out and "b" in out
+
+    def test_format_result_includes_notes(self):
+        r = ExperimentResult("n", "Fig 1")
+        r.add(x=1)
+        r.note("important caveat")
+        out = format_result(r)
+        assert "Fig 1" in out and "important caveat" in out
+
+    def test_number_formats(self):
+        rows = [{"v": 0}, {"v": 12345.6}, {"v": 0.000123}, {"v": 3.14159}]
+        out = format_table(rows)
+        assert "12,346" in out
+        assert "3.14" in out
+        assert "0.000123" in out
+
+    def test_shape_check(self):
+        ok = shape_check("close", measured=95, expected=100, rel_tol=0.10)
+        assert ok["ok"] == "PASS"
+        bad = shape_check("far", measured=50, expected=100, rel_tol=0.10)
+        assert bad["ok"] == "FAIL"
+        zero = shape_check("zero", measured=0.0, expected=0.0, rel_tol=0.1)
+        assert zero["ok"] == "PASS"
+
+    def test_ratio(self):
+        assert ratio(10, 2) == 5
+        assert ratio(1, 0) == float("inf")

@@ -1,0 +1,102 @@
+"""Tests for utilization metrics and bottleneck identification."""
+
+import pytest
+
+from repro.bench.metrics import bottleneck, device_utilization
+from repro.bench.metrics import endpoint_utilization
+from repro.bench.metrics import testbed_metrics as metrics_of  # avoid pytest name collision
+from repro.bench.setups import (
+    add_diesel,
+    add_lustre,
+    bulk_load_diesel,
+    bulk_load_lustre,
+    make_testbed,
+)
+from repro.cluster.devices import Device
+from repro.sim import Environment, run_sync
+
+
+class TestDeviceUtilization:
+    def test_idle_device_is_zero(self):
+        env = Environment()
+        d = Device(env, "d", per_op_s=1e-3, bandwidth_bps=1e9)
+        env.timeout(1.0)
+        env.run()
+        assert device_utilization(d, env.now) == 0.0
+
+    def test_saturated_device_near_one(self):
+        env = Environment()
+        d = Device(env, "d", per_op_s=1e-3, bandwidth_bps=1e9, queue_depth=1)
+
+        def hammer():
+            for _ in range(100):
+                yield from d.read(0)
+
+        run_sync(env, hammer())
+        assert device_utilization(d, env.now) == pytest.approx(1.0, rel=0.01)
+
+    def test_half_loaded(self):
+        env = Environment()
+        d = Device(env, "d", per_op_s=1e-3, bandwidth_bps=1e9, queue_depth=2)
+
+        def one_stream():
+            for _ in range(50):
+                yield from d.read(0)
+
+        run_sync(env, one_stream())
+        # One stream on a two-slot station: 50% utilization.
+        assert device_utilization(d, env.now) == pytest.approx(0.5, rel=0.05)
+
+    def test_zero_time(self):
+        env = Environment()
+        d = Device(env, "d", per_op_s=1e-3, bandwidth_bps=1e9)
+        assert device_utilization(d, 0.0) == 0.0
+
+
+class TestTestbedMetrics:
+    def test_diesel_metrics_populated(self):
+        tb = make_testbed(n_compute=1)
+        add_diesel(tb)
+        files = {f"/m/f{i}": b"x" * 1024 for i in range(10)}
+        bulk_load_diesel(tb, "ds", files, chunk_size=4096)
+
+        def reads():
+            for path in files:
+                yield from tb.diesel.call(
+                    tb.compute_nodes[0], "get_file", "ds", path
+                )
+
+        tb.run(reads())
+        m = metrics_of(tb)
+        assert m["sim_time_s"] > 0
+        assert m["diesel_data_calls"] == 10
+        assert m["kv_pairs"] > 10
+        assert 0 <= m["ssd_pool_utilization"] <= 1
+
+    def test_lustre_bottleneck_is_oss_for_small_reads(self):
+        tb = make_testbed(n_compute=2)
+        add_lustre(tb)
+        files = {f"/l/f{i}": b"x" * 4096 for i in range(40)}
+        bulk_load_lustre(tb, files)
+
+        def reader(node):
+            for path in files:
+                yield from tb.lustre.read_file(node, path)
+
+        tb.run_all(reader(n) for n in tb.compute_nodes)
+        m = metrics_of(tb)
+        assert m["lustre_mds_calls"] == 80
+        # Small random reads saturate the near-serial OSS path.
+        assert m["lustre_oss_utilization"] > 0.5
+        assert bottleneck(tb) == "lustre_oss"
+
+    def test_endpoint_utilization_bounds(self):
+        tb = make_testbed(n_compute=1)
+        add_diesel(tb)
+        for s in tb.diesel_servers:
+            assert endpoint_utilization(s.endpoint, 1.0) == 0.0
+
+    def test_bottleneck_without_services(self):
+        tb = make_testbed(n_compute=1)
+        # Only the ssd pool exists; bottleneck answers with it.
+        assert bottleneck(tb) in ("ssd_pool", "none")

@@ -1,0 +1,56 @@
+"""Tests for the experiment runner CLI."""
+
+import pytest
+
+from repro.bench import runner
+from repro.bench.experiments import ALL_EXPERIMENTS
+
+
+class TestRunnerCli:
+    def test_list(self, capsys):
+        assert runner.main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ALL_EXPERIMENTS:
+            assert name in out
+
+    def test_no_args_is_usage_error(self, capsys):
+        assert runner.main([]) == 2
+        assert "nothing to run" in capsys.readouterr().err
+
+    def test_unknown_experiment(self, capsys):
+        assert runner.main(["fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_runs_one_experiment(self, capsys):
+        # table2 is the fastest artifact (~10ms).
+        assert runner.main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "files_per_s" in out
+
+    def test_runs_multiple(self, capsys):
+        assert runner.main(["table2", "fig10b"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out and "Fig 10b" in out
+
+    def test_failure_exit_code(self, capsys, monkeypatch):
+        def boom():
+            raise RuntimeError("injected")
+
+        monkeypatch.setitem(ALL_EXPERIMENTS, "table2", boom)
+        assert runner.main(["table2"]) == 1
+        assert "FAILED" in capsys.readouterr().err
+
+    def test_csv_export(self, capsys, tmp_path):
+        out_dir = tmp_path / "csvs"
+        assert runner.main(["table2", "fig10b", "--csv", str(out_dir)]) == 0
+        t2 = out_dir / "table2.csv"
+        assert t2.exists()
+        import csv as csv_mod
+
+        with t2.open() as fh:
+            rows = list(csv_mod.DictReader(fh))
+        assert len(rows) == 7  # one row per Table 2 file size
+        assert "files_per_s" in rows[0]
+        assert float(rows[0]["file_size"]) == 1024
+        assert (out_dir / "fig10b.csv").exists()

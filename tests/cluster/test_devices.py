@@ -1,0 +1,128 @@
+"""Tests for storage device models, including the Table 2 shape."""
+
+import pytest
+
+from repro.calibration import KB, MB, NvmeProfile
+from repro.cluster.devices import Device
+from repro.errors import NodeDownError
+from repro.sim import Environment, run_sync
+
+
+def read_n(env, device, nbytes, count):
+    def proc(env):
+        t0 = env.now
+        for _ in range(count):
+            yield from device.read(nbytes)
+        return env.now - t0
+
+    return run_sync(env, proc(env))
+
+
+class TestDeviceModel:
+    def test_op_time_components(self):
+        env = Environment()
+        d = Device(env, "d", per_op_s=1e-3, bandwidth_bps=1e6)
+        assert d.op_time(0) == pytest.approx(1e-3)
+        assert d.op_time(1_000_000) == pytest.approx(1e-3 + 1.0)
+
+    def test_op_time_negative_rejected(self):
+        env = Environment()
+        d = Device(env, "d", per_op_s=0, bandwidth_bps=1)
+        with pytest.raises(ValueError):
+            d.op_time(-1)
+
+    def test_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Device(env, "d", per_op_s=-1, bandwidth_bps=1)
+        with pytest.raises(ValueError):
+            Device(env, "d", per_op_s=0, bandwidth_bps=0)
+
+    def test_sequential_reads_accumulate(self):
+        env = Environment()
+        d = Device(env, "d", per_op_s=0.01, bandwidth_bps=1e9, queue_depth=1)
+        elapsed = read_n(env, d, 0, 10)
+        assert elapsed == pytest.approx(0.1)
+
+    def test_queue_depth_parallelism(self):
+        env = Environment()
+        d = Device(env, "d", per_op_s=1.0, bandwidth_bps=1e9, queue_depth=4)
+
+        def one(env):
+            yield from d.read(0)
+
+        procs = [env.process(one(env)) for _ in range(8)]
+        env.run(until=env.all_of(procs))
+        assert env.now == pytest.approx(2.0)  # two waves of four
+
+    def test_stats(self):
+        env = Environment()
+        d = Device(env, "d", per_op_s=0, bandwidth_bps=1e9)
+
+        def proc(env):
+            yield from d.read(100)
+            yield from d.write(200)
+
+        run_sync(env, proc(env))
+        assert d.stats.read_ops == 1
+        assert d.stats.read_bytes == 100
+        assert d.stats.write_ops == 1
+        assert d.stats.write_bytes == 200
+
+    def test_failed_device_raises(self):
+        env = Environment()
+        d = Device(env, "d", per_op_s=0.001, bandwidth_bps=1e9)
+        d.fail()
+
+        def proc(env):
+            yield from d.read(10)
+
+        with pytest.raises(NodeDownError):
+            run_sync(env, proc(env))
+        d.restore()
+
+        def ok(env):
+            yield from d.read(10)
+            return True
+
+        assert run_sync(env, ok(env))
+
+
+class TestTable2Shape:
+    """The NVMe profile must reproduce the paper's Table 2 within ~15 %."""
+
+    PAPER_ROWS = {  # file size -> files/second (Table 2)
+        1 * KB: 34353.45,
+        4 * KB: 32841.47,
+        16 * KB: 29724.48,
+        64 * KB: 21072.64,
+        256 * KB: 10903.72,
+        1 * MB: 3104.26,
+        4 * MB: 799.42,
+    }
+
+    def test_files_per_second_close_to_paper(self):
+        prof = NvmeProfile()
+        for size, paper_fps in self.PAPER_ROWS.items():
+            model_fps = 1.0 / (prof.per_op_s + size / prof.bandwidth_bps)
+            assert model_fps == pytest.approx(paper_fps, rel=0.15), size
+
+    def test_4mb_4k_iops_is_25x_of_4kb(self):
+        """§4.3: 'with 4MB size reads, the equivalent 4K-IOPS is about 25×
+        greater than the 4KB reads'."""
+        prof = NvmeProfile()
+
+        def iops_4k(size):
+            fps = 1.0 / (prof.per_op_s + size / prof.bandwidth_bps)
+            return fps * (size / (4 * KB))
+
+        ratio = iops_4k(4 * MB) / iops_4k(4 * KB)
+        assert 20 <= ratio <= 30
+
+    def test_simulated_reads_match_model(self):
+        env = Environment()
+        d = Device.nvme(env)
+        n = 50
+        elapsed = read_n(env, d, 64 * KB, n)
+        expected = n * d.op_time(64 * KB)
+        assert elapsed == pytest.approx(expected)

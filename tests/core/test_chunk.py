@@ -1,0 +1,183 @@
+"""Tests for the self-contained chunk format (Fig 5a)."""
+
+import zlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.chunk import Chunk, ChunkFile
+from repro.errors import ChunkChecksumError, ChunkFormatError
+from repro.util.bitmap import Bitmap
+from repro.util.ids import ChunkId, ChunkIdGenerator
+
+GEN = ChunkIdGenerator(machine=b"\x01" * 6, pid=7)
+
+
+def make_chunk(items=None):
+    items = items or [("/a/x", b"xxxx"), ("/a/y", b"yy"), ("/b/z", b"zzzzzz")]
+    return Chunk.build(GEN.next(), items)
+
+
+class TestBuild:
+    def test_paths_and_payloads(self):
+        c = make_chunk()
+        assert c.paths == ("/a/x", "/a/y", "/b/z")
+        assert c.payload("/a/x") == b"xxxx"
+        assert c.payload("/b/z") == b"zzzzzz"
+        assert len(c) == 3
+        assert "/a/y" in c
+
+    def test_offsets_are_contiguous(self):
+        c = make_chunk()
+        assert [f.offset for f in c.files] == [0, 4, 6]
+        assert c.data_size == 12
+
+    def test_empty_chunk_rejected(self):
+        with pytest.raises(ChunkFormatError):
+            Chunk.build(GEN.next(), [])
+
+    def test_duplicate_paths_rejected(self):
+        with pytest.raises(ChunkFormatError):
+            Chunk.build(GEN.next(), [("/a", b"1"), ("/a", b"2")])
+
+    def test_paths_normalized(self):
+        c = Chunk.build(GEN.next(), [("a//b/./c", b"1")])
+        assert c.paths == ("/a/b/c",)
+
+    def test_empty_payload_allowed(self):
+        c = Chunk.build(GEN.next(), [("/empty", b"")])
+        assert c.payload("/empty") == b""
+
+    def test_missing_path_raises(self):
+        c = make_chunk()
+        with pytest.raises(ChunkFormatError):
+            c.payload("/nope")
+
+    def test_entry_crc_matches_payload(self):
+        c = make_chunk()
+        for f in c.files:
+            assert f.crc32 == zlib.crc32(c.payload(f.path))
+
+
+class TestCodec:
+    def test_roundtrip(self):
+        c = make_chunk()
+        restored = Chunk.decode(c.encode())
+        assert restored.chunk_id == c.chunk_id
+        assert restored.paths == c.paths
+        for p in c.paths:
+            assert restored.payload(p) == c.payload(p)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.text(
+                    alphabet=st.characters(
+                        blacklist_characters="/", blacklist_categories=("Cs",)
+                    ),
+                    min_size=1,
+                    max_size=12,
+                ).filter(lambda s: s not in (".", "..")),
+                st.binary(max_size=256),
+            ),
+            min_size=1,
+            max_size=10,
+            unique_by=lambda t: t[0],
+        )
+    )
+    def test_roundtrip_property(self, items):
+        items = [(f"/d/{name}", data) for name, data in items]
+        c = Chunk.build(GEN.next(), items)
+        restored = Chunk.decode(c.encode())
+        assert restored.paths == c.paths
+        for path, data in items:
+            assert restored.payload(path) == data
+
+    def test_header_only_decode(self):
+        c = make_chunk()
+        blob = c.encode()
+        shell, data_offset = Chunk.decode_header(blob)
+        assert shell.chunk_id == c.chunk_id
+        assert shell.paths == c.paths
+        assert blob[data_offset:] == c.data
+
+    def test_bad_magic(self):
+        blob = b"XXXX" + make_chunk().encode()[4:]
+        with pytest.raises(ChunkFormatError):
+            Chunk.decode(blob)
+
+    def test_truncated(self):
+        blob = make_chunk().encode()
+        with pytest.raises(ChunkFormatError):
+            Chunk.decode_header(blob[:10])
+
+    def test_header_corruption_detected(self):
+        blob = bytearray(make_chunk().encode())
+        blob[25] ^= 0xFF  # flip a byte inside the file table
+        with pytest.raises((ChunkChecksumError, ChunkFormatError)):
+            Chunk.decode(bytes(blob))
+
+    def test_payload_corruption_detected(self):
+        c = make_chunk()
+        blob = bytearray(c.encode())
+        blob[-1] ^= 0xFF  # corrupt the last payload byte
+        restored = Chunk.decode(bytes(blob))
+        with pytest.raises(ChunkChecksumError):
+            restored.payload("/b/z")
+        # verify=False skips the check (used on trusted in-memory copies)
+        assert restored.payload("/b/z", verify=False) != c.payload("/b/z")
+
+
+class TestDeletion:
+    def test_fresh_chunk_nothing_deleted(self):
+        c = make_chunk()
+        assert c.deleted_count == 0
+        assert not c.is_deleted("/a/x")
+        assert len(c.live_files()) == 3
+
+    def test_bitmap_marks_deleted(self):
+        c = make_chunk()
+        bm = Bitmap(3)
+        bm.set(1)
+        c2 = Chunk(c.chunk_id, c.files, c.data, bm)
+        assert c2.is_deleted("/a/y")
+        assert [f.path for f in c2.live_files()] == ["/a/x", "/b/z"]
+        assert c2.deleted_count == 1
+        assert c2.live_bytes() == 10
+
+    def test_bitmap_roundtrips_through_codec(self):
+        c = make_chunk()
+        bm = Bitmap(3)
+        bm.set(0)
+        c2 = Chunk(c.chunk_id, c.files, c.data, bm)
+        restored = Chunk.decode(c2.encode())
+        assert restored.is_deleted("/a/x")
+
+    def test_bitmap_size_mismatch_rejected(self):
+        c = make_chunk()
+        with pytest.raises(ChunkFormatError):
+            Chunk(c.chunk_id, c.files, c.data, Bitmap(2))
+
+
+class TestValidation:
+    def test_negative_entry_rejected(self):
+        with pytest.raises(ChunkFormatError):
+            ChunkFile("/a", -1, 4, 0)
+
+    def test_entry_past_data_rejected(self):
+        cid = GEN.next()
+        with pytest.raises(ChunkFormatError):
+            Chunk(cid, [ChunkFile("/a", 0, 100, 0)], b"short")
+
+    def test_self_contained_for_recovery(self):
+        """Everything recovery needs is in the encoded header."""
+        items = [(f"/ds/f{i}", bytes([i]) * (i + 1)) for i in range(5)]
+        c = Chunk.build(GEN.next(), items)
+        shell, _ = Chunk.decode_header(c.encode())
+        # chunk id, full paths, offsets, lengths, checksums all present
+        assert shell.chunk_id == c.chunk_id
+        assert shell.paths == tuple(p for p, _ in items)
+        for a, b in zip(shell.files, c.files):
+            assert (a.offset, a.length, a.crc32) == (b.offset, b.length, b.crc32)

@@ -1,0 +1,180 @@
+"""Failure injection across the whole stack.
+
+Complements the dist-cache failure tests with failures deeper in the
+system: storage devices dying mid-operation, KV shards dropping during
+client workloads, and servers dying with requests in flight — verifying
+both that errors surface as typed exceptions and that snapshot-backed
+metadata keeps working when everything remote is gone.
+"""
+
+import pytest
+
+from repro.errors import (
+    FileNotFoundInDatasetError,
+    NodeDownError,
+    ShardUnavailableError,
+)
+
+from tests.core.conftest import build_deployment, small_files, write_dataset
+
+
+def loaded_client(deployment, files):
+    client = write_dataset(deployment, "ds", files)
+
+    def load():
+        blob = yield from client.save_meta()
+        yield from client.load_meta(blob)
+
+    deployment.run(load())
+    return client
+
+
+class TestDeviceFailures:
+    def test_device_death_mid_read_raises(self, deployment):
+        files = small_files(8, size=64 * 1024)
+        client = loaded_client(deployment, files)
+        env = deployment.env
+
+        def reader():
+            for path in files:
+                yield from client.get(path)
+
+        def killer():
+            yield env.timeout(1e-5)  # mid-way through the first reads
+            deployment.store.device.fail()
+
+        p = env.process(reader())
+        env.process(killer())
+        with pytest.raises(NodeDownError):
+            env.run(until=p)
+
+    def test_device_restore_allows_reads_again(self, deployment):
+        files = small_files(4)
+        client = loaded_client(deployment, files)
+        deployment.store.device.fail()
+        deployment.store.device.restore()
+
+        def proc():
+            data = yield from client.get(next(iter(files)))
+            return data
+
+        assert deployment.run(proc()) == next(iter(files.values()))
+
+
+class TestKvFailures:
+    def test_shard_node_death_breaks_remote_metadata(self, deployment):
+        files = small_files(6)
+        write_dataset(deployment, "ds", files)
+        client = deployment.new_client("ds")  # no snapshot: server path
+        # Kill every KV node so any remote metadata lookup must fail.
+        for inst in deployment.kv.instances:
+            if inst.node.alive:
+                inst.node.kill()
+
+        def proc():
+            yield from client.stat(next(iter(files)))
+
+        with pytest.raises((ShardUnavailableError, NodeDownError)):
+            deployment.run(proc())
+
+    def test_snapshot_metadata_survives_total_kv_loss(self, deployment):
+        """§4.1.3's point: snapshot clients never touch the KV cluster."""
+        files = small_files(6)
+        client = loaded_client(deployment, files)
+        for inst in deployment.kv.instances:
+            if inst.node.alive:
+                inst.node.kill()
+
+        def proc():
+            infos = []
+            for path in files:
+                info = yield from client.stat(path)
+                infos.append(info)
+            listing = yield from client.ls("/img")
+            return infos, listing
+
+        infos, listing = deployment.run(proc())
+        assert len(infos) == 6
+        assert listing == ["/img/class0", "/img/class1", "/img/class2",
+                           "/img/class3"]
+
+    def test_kv_data_loss_then_reads_fail_cleanly(self, deployment):
+        files = small_files(4)
+        write_dataset(deployment, "ds", files)
+        client = deployment.new_client("ds")
+        deployment.kv.lose_all()
+
+        def proc():
+            yield from client.get(next(iter(files)))
+
+        with pytest.raises(FileNotFoundInDatasetError):
+            deployment.run(proc())
+
+
+class TestServerFailures:
+    def test_server_death_mid_request(self, deployment):
+        files = small_files(8, size=256 * 1024)
+        client = loaded_client(deployment, files)
+        env = deployment.env
+
+        def reader():
+            for path in files:
+                yield from client.get(path)
+
+        def killer():
+            yield env.timeout(1e-4)
+            deployment.server.node.kill()
+
+        p = env.process(reader())
+        env.process(killer())
+        with pytest.raises(NodeDownError):
+            env.run(until=p)
+
+    def test_surviving_server_keeps_serving(self):
+        dep = build_deployment(n_servers=2)
+        files = small_files(6)
+        client = write_dataset(dep, "ds", files)
+
+        def load():
+            blob = yield from client.save_meta()
+            yield from client.load_meta(blob)
+
+        dep.run(load())
+        dep.servers[0].node.kill()
+        survivor = dep.servers[1]
+
+        def proc():
+            ok = 0
+            for path, expected in files.items():
+                data = yield from survivor.call(
+                    dep.client_nodes[0], "get_file", "ds", path
+                )
+                ok += data == expected
+            return ok
+
+        assert dep.run(proc()) == len(files)
+
+
+class TestFailureContainmentAcrossLayers:
+    def test_kv_instance_loss_is_partial(self, deployment):
+        """Losing one shard only breaks keys it owned."""
+        files = small_files(40)
+        write_dataset(deployment, "ds", files)
+        client = deployment.new_client("ds")
+        victim = deployment.kv.instances[0]
+        victim.node.kill()
+
+        def probe():
+            ok = fail = 0
+            for path in files:
+                try:
+                    yield from client.stat(path)
+                    ok += 1
+                except (ShardUnavailableError, NodeDownError):
+                    fail += 1
+            return ok, fail
+
+        ok, fail = deployment.run(probe())
+        assert ok > 0  # other shards still serve
+        assert fail > 0  # the dead shard's keys fail
+        assert ok + fail == len(files)

@@ -1,0 +1,217 @@
+"""End-to-end integration: the full DIESEL pipeline with verified bytes.
+
+Drives the complete life of a dataset — generation with embedded
+checksums, ingest through DL_put, snapshot distribution, task-grained
+caching, chunk-wise shuffled epochs, FUSE reads, failures, recovery —
+verifying content integrity at every hop (the paper's own methodology:
+"each process reads files and checks the contents as well as the hash
+code for correctness", §6.1).
+"""
+
+import pytest
+
+from repro.bench.setups import (
+    add_diesel,
+    bulk_load_diesel,
+    diesel_client_with_snapshot,
+    make_testbed,
+)
+from repro.core.dist_cache import TaskCache
+from repro.core.fuse import mount
+from repro.workloads.filegen import generate_file, verify_file
+
+N_FILES = 60
+
+
+@pytest.fixture
+def pipeline():
+    tb = make_testbed(n_compute=4)
+    add_diesel(tb, n_servers=2)
+    files = {
+        f"/ds/class{i % 5}/img{i:04d}.jpg": generate_file(f"img{i}", 2048 + i)
+        for i in range(N_FILES)
+    }
+    bulk_load_diesel(tb, "ds", files, chunk_size=16 * 1024)
+    clients = [
+        diesel_client_with_snapshot(tb, "ds", tb.compute_nodes[c % 4],
+                                    f"c{c}", rank=c)
+        for c in range(8)
+    ]
+    return tb, files, clients
+
+
+class TestFullPipeline:
+    def test_every_hop_preserves_checksums(self, pipeline):
+        tb, files, clients = pipeline
+        cache = TaskCache(
+            tb.env, tb.fabric, tb.diesel, "ds",
+            [c.as_cache_client() for c in clients],
+        )
+        tb.run(cache.register())
+        tb.run(cache.wait_warm())
+        for c in clients:
+            c.attach_cache(cache)
+        fuse = mount([clients[0]])
+
+        def verify_all():
+            # Path 1: DL_get through the distributed cache.
+            for path, expected in files.items():
+                data = yield from clients[1].get(path)
+                assert data == expected and verify_file(data)
+            # Path 2: FUSE whole-file reads.
+            for path, expected in list(files.items())[:10]:
+                data = yield from fuse.read_file(path)
+                assert data == expected and verify_file(data)
+            # Path 3: server request executor (batched).
+            batch = list(files)[:20]
+            result = yield from tb.diesel.call(
+                tb.compute_nodes[0], "read_files", "ds", batch
+            )
+            for p in batch:
+                assert result[p] == files[p] and verify_file(result[p])
+
+        tb.run(verify_all())
+        assert cache.hit_ratio() == 1.0
+
+    def test_shuffled_epoch_verifies(self, pipeline):
+        tb, files, clients = pipeline
+        client = clients[0]
+        client.enable_shuffle(group_size=2)
+        plan = client.epoch_file_list(seed=42)
+        assert sorted(plan.files) == sorted(files)
+
+        def read_epoch():
+            for path in plan.files:
+                data = yield from client.get(path)
+                assert data == files[path]
+                assert verify_file(data)
+
+        tb.run(read_epoch())
+        # Bounded working set throughout.
+        assert len(client._group_cache) <= 2
+
+    def test_failure_then_recovery_preserves_integrity(self, pipeline):
+        tb, files, clients = pipeline
+        cache = TaskCache(
+            tb.env, tb.fabric, tb.diesel, "ds",
+            [c.as_cache_client() for c in clients],
+        )
+        tb.run(cache.register())
+        tb.run(cache.wait_warm())
+        tb.compute_nodes[0].kill()
+        tb.run(cache.recover())
+        survivor = next(c for c in clients if c.node.alive)
+
+        def verify():
+            for path, expected in files.items():
+                data = yield from cache.read_file(
+                    survivor.as_cache_client(), survivor.index.lookup(path)
+                )
+                assert data == expected and verify_file(data)
+
+        tb.run(verify())
+
+    def test_metadata_wipe_then_rebuild_preserves_integrity(self, pipeline):
+        from repro.core import recovery
+
+        tb, files, clients = pipeline
+        tb.kv.lose_all()
+        tb.run(recovery.rebuild_dataset(tb.diesel, "ds"))
+
+        def verify():
+            for path, expected in list(files.items())[:20]:
+                data = yield from tb.diesel.call(
+                    tb.compute_nodes[0], "get_file", "ds", path
+                )
+                assert data == expected and verify_file(data)
+
+        tb.run(verify())
+
+    def test_multi_server_consistency(self, pipeline):
+        tb, files, clients = pipeline
+        path = next(iter(files))
+
+        def via(server_idx):
+            data = yield from tb.diesel_servers[server_idx].call(
+                tb.compute_nodes[0], "get_file", "ds", path
+            )
+            return data
+
+        assert tb.run(via(0)) == tb.run(via(1)) == files[path]
+
+
+class TestTieredServerCache:
+    """The Fig 4 server cache: HDD base + SSD tier."""
+
+    def _setup(self):
+        tb = make_testbed(n_compute=1)
+        add_diesel(tb, tiered=True)
+        files = {f"/t/f{i:03d}": generate_file(f"t{i}", 4096)
+                 for i in range(40)}
+        bulk_load_diesel(tb, "ds", files, chunk_size=32 * 1024)
+        return tb, files
+
+    def test_config_store_published(self):
+        tb, _ = self._setup()
+        assert tb.config_store.get("diesel/config") is not None
+        assert tb.config_store.get("diesel/n_servers") == 1
+
+    def test_second_epoch_hits_ssd_tier(self):
+        tb, files = self._setup()
+        node = tb.compute_nodes[0]
+
+        def epoch():
+            t0 = tb.env.now
+            for path in files:
+                data = yield from tb.diesel.call(node, "get_file", "ds", path)
+                assert data == files[path]
+            return tb.env.now - t0
+
+        cold = tb.run(epoch())
+        warm = tb.run(epoch())
+        # First epoch faulted chunks from HDD and promoted them; the
+        # second is served from the SSD tier.
+        assert warm < cold / 3
+        assert tb.store.stats.promotions > 0
+        assert tb.store.stats.ssd_hits > 0
+
+    def test_correctness_through_tiers(self):
+        tb, files = self._setup()
+        node = tb.compute_nodes[0]
+
+        def read_twice():
+            for _ in range(2):
+                for path, expected in files.items():
+                    data = yield from tb.diesel.call(
+                        node, "get_file", "ds", path
+                    )
+                    assert data == expected
+
+        tb.run(read_twice())
+
+    def test_background_caching_process(self):
+        tb, files = self._setup()
+        tb.store.promote_on_miss = False  # isolate the background path
+        proc = tb.diesel.start_background_caching("ds")
+        promoted = tb.run(lambda: None) if proc is None else tb.env.run(until=proc)
+        n_chunks = len(tb.store.list_keys())
+        assert promoted == n_chunks
+        assert all(tb.store.in_ssd(k) for k in tb.store.list_keys())
+
+        # Reads now hit the SSD tier without per-read promotion.
+        node = tb.compute_nodes[0]
+
+        def epoch():
+            t0 = tb.env.now
+            for path in files:
+                yield from tb.diesel.call(node, "get_file", "ds", path)
+            return tb.env.now - t0
+
+        tb.run(epoch())
+        assert tb.store.stats.ssd_hits >= len(files)
+
+    def test_background_caching_noop_for_flat_store(self):
+        tb = make_testbed(n_compute=1)
+        add_diesel(tb, tiered=False)
+        bulk_load_diesel(tb, "ds", {"/x": b"1" * 100})
+        assert tb.diesel.start_background_caching("ds") is None

@@ -1,0 +1,328 @@
+"""Tests for the DIESEL server: ingest, reads, request executor,
+housekeeping."""
+
+import pytest
+
+from repro.core import meta
+from repro.core.chunk import Chunk
+from repro.core.server import object_key, parse_object_key
+from repro.errors import (
+    DatasetNotFoundError,
+    DieselError,
+    FileNotFoundInDatasetError,
+)
+from repro.util.ids import ChunkIdGenerator
+
+from tests.core.conftest import build_deployment, small_files, write_dataset
+
+
+class TestObjectKey:
+    def test_roundtrip(self):
+        gen = ChunkIdGenerator(machine=b"\x06" * 6, pid=1)
+        cid = gen.next()
+        key = object_key("imagenet", cid)
+        ds, parsed = parse_object_key(key)
+        assert ds == "imagenet" and parsed == cid
+
+    def test_written_order_listing(self):
+        gen = ChunkIdGenerator(machine=b"\x06" * 6, pid=1, clock=None)
+        cids = list(gen.take(5))
+        keys = sorted(object_key("ds", c) for c in reversed(cids))
+        assert [parse_object_key(k)[1] for k in keys] == cids
+
+
+class TestIngestAndRead:
+    def test_roundtrip_through_server(self, deployment):
+        files = small_files(20)
+        client = write_dataset(deployment, "ds", files)
+
+        def read_one(path):
+            def proc():
+                data = yield from deployment.server.call(
+                    deployment.client_nodes[0], "get_file", "ds", path
+                )
+                return data
+
+            return deployment.run(proc())
+
+        for path, data in list(files.items())[:5]:
+            assert read_one(path) == data
+
+    def test_chunks_land_in_object_store(self, deployment):
+        write_dataset(deployment, "ds", small_files(20), chunk_size=32 * 1024)
+        keys = deployment.store.list_keys()
+        assert len(keys) >= 2
+        for key in keys:
+            chunk = Chunk.decode(deployment.store.peek(key))
+            assert len(chunk) >= 1
+
+    def test_metadata_pairs_written(self, deployment):
+        files = small_files(10)
+        write_dataset(deployment, "ds", files)
+        for path in files:
+            assert deployment.kv.local_get_or_none(meta.file_key("ds", path))
+        dsrec = deployment.server.dataset_info("ds")
+        assert len(dsrec.chunk_ids) == len(deployment.store.list_keys())
+
+    def test_missing_file_raises(self, deployment):
+        write_dataset(deployment, "ds", small_files(5))
+
+        def proc():
+            yield from deployment.server.call(
+                deployment.client_nodes[0], "get_file", "ds", "/ghost"
+            )
+
+        with pytest.raises(FileNotFoundInDatasetError):
+            deployment.run(proc())
+
+    def test_unknown_dataset_raises(self, deployment):
+        def proc():
+            yield from deployment.server.call(
+                deployment.client_nodes[0], "dataset_ts", "nope"
+            )
+
+        with pytest.raises(DatasetNotFoundError):
+            deployment.run(proc())
+
+    def test_unknown_method_raises(self, deployment):
+        def proc():
+            yield from deployment.server.call(
+                deployment.client_nodes[0], "fly_to_moon"
+            )
+
+        with pytest.raises(DieselError):
+            deployment.run(proc())
+
+    def test_dataset_ts_bumps_on_ingest(self, deployment):
+        write_dataset(deployment, "ds", small_files(4), chunk_size=4096)
+        ts1 = deployment.server.dataset_info("ds").update_ts
+        write_dataset(deployment, "ds", {"/new/file": b"x" * 100})
+        ts2 = deployment.server.dataset_info("ds").update_ts
+        assert ts2 > ts1
+
+
+class TestRequestExecutor:
+    def test_batch_read_returns_correct_bytes(self, deployment):
+        files = small_files(30)
+        write_dataset(deployment, "ds", files, chunk_size=16 * 1024)
+        paths = list(files)[:12]
+
+        def proc():
+            result = yield from deployment.server.call(
+                deployment.client_nodes[0], "read_files", "ds", paths
+            )
+            return result
+
+        result = deployment.run(proc())
+        assert set(result) == set(paths)
+        for p in paths:
+            assert result[p] == files[p]
+
+    def test_merging_reduces_device_ops(self, deployment):
+        """The §4 request executor must merge same-chunk reads."""
+        files = small_files(32, size=1024)
+        write_dataset(deployment, "ds", files, chunk_size=1024 * 1024)
+        # All 32 files fit one chunk.
+        assert len(deployment.store.list_keys()) == 1
+        before = deployment.store.device.stats.read_ops
+
+        def proc():
+            result = yield from deployment.server.call(
+                deployment.client_nodes[0], "read_files", "ds", list(files)
+            )
+            return result
+
+        deployment.run(proc())
+        merged_ops = deployment.store.device.stats.read_ops - before
+        assert merged_ops == 1  # one span read instead of 32
+
+    def test_merged_read_faster_than_individual(self, deployment):
+        files = small_files(64, size=4096)
+        write_dataset(deployment, "ds", files, chunk_size=1024 * 1024)
+        node = deployment.client_nodes[0]
+
+        def batched():
+            t0 = deployment.env.now
+            yield from deployment.server.call(
+                node, "read_files", "ds", list(files)
+            )
+            return deployment.env.now - t0
+
+        def individual():
+            t0 = deployment.env.now
+            for p in files:
+                yield from deployment.server.call(node, "get_file", "ds", p)
+            return deployment.env.now - t0
+
+        t_batch = deployment.run(batched())
+        t_indiv = deployment.run(individual())
+        assert t_batch < t_indiv / 4
+
+
+class TestMetadataOps:
+    def test_stat(self, deployment):
+        files = small_files(6)
+        write_dataset(deployment, "ds", files)
+        path = next(iter(files))
+
+        def proc():
+            info = yield from deployment.server.call(
+                deployment.client_nodes[0], "stat", "ds", path
+            )
+            return info
+
+        info = deployment.run(proc())
+        assert info["size"] == len(files[path])
+        assert info["is_dir"] is False
+
+    def test_stat_directory(self, deployment):
+        write_dataset(deployment, "ds", small_files(6))
+
+        def proc():
+            info = yield from deployment.server.call(
+                deployment.client_nodes[0], "stat", "ds", "/img"
+            )
+            return info
+
+        assert deployment.run(proc())["is_dir"] is True
+
+    def test_ls_is_pscan_union(self, deployment):
+        write_dataset(deployment, "ds", small_files(8))
+
+        def proc():
+            entries = yield from deployment.server.call(
+                deployment.client_nodes[0], "ls", "ds", "/img"
+            )
+            return entries
+
+        entries = deployment.run(proc())
+        assert entries == ["class0", "class1", "class2", "class3"]
+
+    def test_save_meta_roundtrip(self, deployment):
+        from repro.core.snapshot import MetadataSnapshot
+
+        files = small_files(10)
+        write_dataset(deployment, "ds", files)
+
+        def proc():
+            blob = yield from deployment.server.call(
+                deployment.client_nodes[0], "save_meta", "ds", response_bytes=None
+            )
+            return blob
+
+        snap = MetadataSnapshot.deserialize(deployment.run(proc()))
+        assert snap.file_count == 10
+        assert {f.path for f in snap.files} == set(files)
+
+
+class TestHousekeeping:
+    def test_delete_tombstones(self, deployment):
+        files = small_files(8)
+        write_dataset(deployment, "ds", files, chunk_size=1024 * 1024)
+        victim = next(iter(files))
+
+        def proc():
+            yield from deployment.server.call(
+                deployment.client_nodes[0], "delete_file", "ds", victim
+            )
+
+        deployment.run(proc())
+        # file record gone
+        assert deployment.kv.local_get_or_none(meta.file_key("ds", victim)) is None
+        # chunk record shows one tombstone
+        dsrec = deployment.server.dataset_info("ds")
+        crec = deployment.server._chunk_record("ds", dsrec.chunk_ids[0])
+        assert crec.ndeleted == 1
+
+    def test_deleted_file_not_listed(self, deployment):
+        files = {"/d/a": b"1" * 100, "/d/b": b"2" * 100}
+        write_dataset(deployment, "ds", files)
+
+        def proc():
+            yield from deployment.server.call(
+                deployment.client_nodes[0], "delete_file", "ds", "/d/a"
+            )
+            entries = yield from deployment.server.call(
+                deployment.client_nodes[0], "ls", "ds", "/d"
+            )
+            return entries
+
+        assert deployment.run(proc()) == ["b"]
+
+    def test_purge_rewrites_holey_chunks(self, deployment):
+        files = small_files(10, size=1000)
+        write_dataset(deployment, "ds", files, chunk_size=1024 * 1024)
+        node = deployment.client_nodes[0]
+        victims = list(files)[:3]
+
+        def proc():
+            for v in victims:
+                yield from deployment.server.call(node, "delete_file", "ds", v)
+            rewritten = yield from deployment.server.call(node, "purge", "ds")
+            return rewritten
+
+        assert deployment.run(proc()) == 1
+        dsrec = deployment.server.dataset_info("ds")
+        assert len(dsrec.chunk_ids) == 1  # fresh chunk replaced the holey one
+        crec = deployment.server._chunk_record("ds", dsrec.chunk_ids[0])
+        assert crec.ndeleted == 0
+        assert crec.nfiles == 7
+
+        def read_survivor():
+            survivor = list(files)[5]
+            data = yield from deployment.server.call(
+                node, "get_file", "ds", survivor
+            )
+            return data
+
+        survivor = list(files)[5]
+        assert deployment.run(read_survivor()) == files[survivor]
+
+    def test_purge_skips_clean_chunks(self, deployment):
+        write_dataset(deployment, "ds", small_files(5))
+
+        def proc():
+            rewritten = yield from deployment.server.call(
+                deployment.client_nodes[0], "purge", "ds"
+            )
+            return rewritten
+
+        assert deployment.run(proc()) == 0
+
+    def test_delete_dataset_removes_everything(self, deployment):
+        write_dataset(deployment, "ds", small_files(10), chunk_size=8 * 1024)
+
+        def proc():
+            n = yield from deployment.server.call(
+                deployment.client_nodes[0], "delete_dataset", "ds"
+            )
+            return n
+
+        removed = deployment.run(proc())
+        assert removed >= 1
+        assert deployment.store.list_keys() == []
+        assert deployment.kv.total_keys() == 0
+        with pytest.raises(DatasetNotFoundError):
+            deployment.server.dataset_info("ds")
+
+
+class TestMultiServer:
+    def test_servers_share_state(self):
+        dep = build_deployment(n_servers=3)
+        files = small_files(9)
+        write_dataset(dep, "ds", files)
+
+        def read_via(server_idx, path):
+            def proc():
+                data = yield from dep.servers[server_idx].call(
+                    dep.client_nodes[0], "get_file", "ds", path
+                )
+                return data
+
+            return dep.run(proc())
+
+        path = next(iter(files))
+        # Any server serves data written through any other (stateless §4.1.1).
+        assert read_via(0, path) == files[path]
+        assert read_via(1, path) == files[path]
+        assert read_via(2, path) == files[path]

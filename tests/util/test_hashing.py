@@ -1,0 +1,91 @@
+"""Tests for stable hashing and the consistent-hash ring."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.hashing import ConsistentHashRing, fnv1a_64, stable_hash
+
+
+class TestFnv:
+    def test_known_vector(self):
+        # FNV-1a 64-bit of empty input is the offset basis.
+        assert fnv1a_64(b"") == 0xCBF29CE484222325
+
+    def test_str_and_bytes_agree(self):
+        assert fnv1a_64("hello") == fnv1a_64(b"hello")
+
+    def test_deterministic(self):
+        assert fnv1a_64("diesel") == fnv1a_64("diesel")
+
+    def test_distinct_inputs_differ(self):
+        assert fnv1a_64("a") != fnv1a_64("b")
+
+    def test_stable_hash_buckets(self):
+        for key in ("x", "y", "z"):
+            assert 0 <= stable_hash(key, 10) < 10
+
+    def test_stable_hash_bad_buckets(self):
+        with pytest.raises(ValueError):
+            stable_hash("x", 0)
+
+
+class TestRing:
+    def test_empty_ring_lookup_raises(self):
+        with pytest.raises(LookupError):
+            ConsistentHashRing().lookup("key")
+
+    def test_single_node_owns_everything(self):
+        ring = ConsistentHashRing(["n0"])
+        assert all(ring.lookup(f"k{i}") == "n0" for i in range(100))
+
+    def test_duplicate_add_rejected(self):
+        ring = ConsistentHashRing(["n0"])
+        with pytest.raises(ValueError):
+            ring.add("n0")
+
+    def test_remove_missing_rejected(self):
+        with pytest.raises(KeyError):
+            ConsistentHashRing(["n0"]).remove("n1")
+
+    def test_balance(self):
+        """With virtual nodes, key shares should be roughly even."""
+        nodes = [f"n{i}" for i in range(10)]
+        ring = ConsistentHashRing(nodes, replicas=256)
+        counts = {n: 0 for n in nodes}
+        for i in range(20_000):
+            counts[ring.lookup(f"file-{i}")] += 1
+        share = [c / 20_000 for c in counts.values()]
+        assert min(share) > 0.04  # no node starved (ideal share 0.10)
+        assert max(share) < 0.20  # no node doubled
+
+    def test_removal_only_remaps_dead_nodes_keys(self):
+        """The property Fig 6 relies on: killing one node only misses its keys."""
+        nodes = [f"n{i}" for i in range(10)]
+        ring = ConsistentHashRing(nodes, replicas=128)
+        keys = [f"img/{i}.jpg" for i in range(5000)]
+        before = {k: ring.lookup(k) for k in keys}
+        ring.remove("n3")
+        after = {k: ring.lookup(k) for k in keys}
+        for k in keys:
+            if before[k] != "n3":
+                assert after[k] == before[k]
+            else:
+                assert after[k] != "n3"
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.sets(st.integers(0, 50), min_size=2, max_size=12).map(sorted))
+    def test_lookup_stable_under_add_order(self, node_ids):
+        """Ring assignment must not depend on insertion order."""
+        names = [f"node-{i}" for i in node_ids]
+        a = ConsistentHashRing(names, replicas=64)
+        b = ConsistentHashRing(reversed(names), replicas=64)
+        for i in range(200):
+            key = f"key-{i}"
+            assert a.lookup(key) == b.lookup(key)
+
+    def test_partition_covers_all_keys(self):
+        ring = ConsistentHashRing(["a", "b", "c"])
+        keys = [f"k{i}" for i in range(100)]
+        parts = ring.partition(keys)
+        assert sorted(sum(parts.values(), [])) == sorted(keys)

@@ -1,0 +1,75 @@
+"""Tests for dataset path canonicalization."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util import pathutil
+
+segment = st.text(
+    alphabet=st.characters(blacklist_characters="/", blacklist_categories=("Cs",)),
+    min_size=1,
+    max_size=8,
+).filter(lambda s: s not in (".", ".."))
+
+
+class TestNormalize:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("/a/b/c", "/a/b/c"),
+            ("a/b/c", "/a/b/c"),
+            ("a//b///c", "/a/b/c"),
+            ("/a/./b", "/a/b"),
+            ("/", "/"),
+            ("", "/"),
+            (".", "/"),
+            ("/a/b/", "/a/b"),
+        ],
+    )
+    def test_cases(self, raw, expected):
+        assert pathutil.normalize(raw) == expected
+
+    def test_dotdot_rejected(self):
+        with pytest.raises(ValueError):
+            pathutil.normalize("/a/../b")
+
+    def test_non_str_rejected(self):
+        with pytest.raises(TypeError):
+            pathutil.normalize(123)
+
+    @given(st.lists(segment, max_size=6))
+    def test_idempotent(self, parts):
+        p = pathutil.normalize("/".join(parts))
+        assert pathutil.normalize(p) == p
+
+
+class TestComponents:
+    def test_split_join_roundtrip(self):
+        assert pathutil.split("/a/b/c") == ("a", "b", "c")
+        assert pathutil.join("a", "b", "c") == "/a/b/c"
+        assert pathutil.split("/") == ()
+
+    def test_dirname_basename(self):
+        assert pathutil.dirname("/a/b/c") == "/a/b"
+        assert pathutil.basename("/a/b/c") == "c"
+        assert pathutil.dirname("/a") == "/"
+        assert pathutil.dirname("/") == "/"
+        assert pathutil.basename("/") == ""
+
+    def test_iter_ancestors(self):
+        assert list(pathutil.iter_ancestors("/a/b/c")) == ["/a/b", "/a", "/"]
+        assert list(pathutil.iter_ancestors("/a")) == ["/"]
+        assert list(pathutil.iter_ancestors("/")) == []
+
+    def test_is_under(self):
+        assert pathutil.is_under("/a/b", "/a")
+        assert pathutil.is_under("/a/b", "/")
+        assert not pathutil.is_under("/a", "/a")
+        assert not pathutil.is_under("/ab", "/a")
+        assert not pathutil.is_under("/", "/")
+
+    @given(st.lists(segment, min_size=1, max_size=6))
+    def test_dirname_is_ancestor(self, parts):
+        p = pathutil.join(*parts)
+        assert pathutil.dirname(p) == next(pathutil.iter_ancestors(p))

@@ -1,0 +1,62 @@
+"""Tests for byte-size parsing and formatting."""
+
+import pytest
+
+from repro.util.units import format_bytes, format_rate, parse_size
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("0", 0),
+            ("512", 512),
+            ("4k", 4096),
+            ("4K", 4096),
+            ("4KB", 4096),
+            ("4KiB", 4096),
+            ("4MB", 4 * 1024**2),
+            ("1.5MB", int(1.5 * 1024**2)),
+            ("2GB", 2 * 1024**3),
+            ("1TiB", 1024**4),
+            (" 128 kb ", 128 * 1024),
+        ],
+    )
+    def test_valid(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_int_passthrough(self):
+        assert parse_size(4096) == 4096
+
+    def test_float_truncates(self):
+        assert parse_size(10.9) == 10
+
+    @pytest.mark.parametrize("bad", ["", "abc", "4XB", "-5KB", "4 4MB"])
+    def test_invalid_raises(self, bad):
+        with pytest.raises(ValueError):
+            parse_size(bad)
+
+    def test_negative_int_raises(self):
+        with pytest.raises(ValueError):
+            parse_size(-1)
+
+
+class TestFormat:
+    def test_bytes(self):
+        assert format_bytes(0) == "0 B"
+        assert format_bytes(512) == "512 B"
+        assert format_bytes(4 * 1024**2) == "4.00 MiB"
+        assert format_bytes(3.3 * 1024**3) == "3.30 GiB"
+
+    def test_large_stays_tib(self):
+        assert format_bytes(5 * 1024**5).endswith("TiB")
+
+    def test_rate(self):
+        assert format_rate(1024**2) == "1.00 MiB/s"
+
+    def test_roundtrip_consistency(self):
+        for n in (1, 1024, 4096, 10**9):
+            text = format_bytes(n)
+            # parse back within 1% (formatting rounds to 2 decimals)
+            parsed = parse_size(text.replace(" ", "").replace("iB", "B"))
+            assert abs(parsed - n) <= max(0.01 * n, 1)
