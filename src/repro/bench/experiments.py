@@ -1079,6 +1079,90 @@ def fig15_training_time(
     return result
 
 
+def prefetch_pipeline(
+    depths: Sequence[int] = (0, 1, 2, 4),
+    epochs: int = 2,
+    n_files: int = 1_000,
+    file_size: int = 110 * KB,
+    batch_size: int = 32,
+    group_size: int = 4,
+    io_workers: int = 4,
+    compute_per_batch_s: float = 2e-3,
+    seed: int = 7,
+) -> ExperimentResult:
+    """Pipelined chunk prefetch: consumer stall vs ``prefetch_depth``.
+
+    A Fig-14-style DIESEL-FUSE run repeated at several prefetch depths
+    on the *same* epoch plan (fixed seed; depth 0 is the on-demand
+    baseline).  Reports the dataloader's per-batch consumer stall
+    (``Batch.wait_s``) and the server's chunk-read counter: with the
+    single-flight map, each chunk moves at most once per epoch even
+    while the pipeline and demand fetches race, so ``duplicate_reads``
+    should be 0 at every depth.
+    """
+    from repro.dlt.dataloader import SimDataLoader
+
+    result = ExperimentResult("prefetch pipeline stall", "§4.3 / Fig 14")
+    payload = b"\x22" * file_size
+    files = {f"/im/f{i:06d}.jpg": payload for i in range(n_files)}
+    with timer(result):
+        for depth in depths:
+            tb = make_testbed(n_compute=2)
+            add_diesel(tb)
+            chunks = bulk_load_diesel(tb, "im", files, chunk_size=4 * MB)
+            client = diesel_client_with_snapshot(
+                tb, "im", tb.compute_nodes[0], "trainer",
+                config=DieselConfig(
+                    shuffle_group_size=group_size, prefetch_depth=depth
+                ),
+            )
+            client.enable_shuffle(group_size=group_size)
+            mount = FuseMount([client], tb.cal)
+            reader = FuseReader(mount, chunk_wise=True, seed=seed)
+            loader = SimDataLoader(
+                tb.env, reader, batch_size=batch_size,
+                num_workers=io_workers,
+            )
+
+            def job():
+                waits: List[float] = []
+                first_epoch_reads = 0
+                for epoch in range(epochs):
+                    n = yield from loader.begin_epoch(epoch)
+                    for _ in range(n):
+                        batch = yield from loader.next_batch()
+                        waits.append(batch.wait_s)
+                        yield tb.env.timeout(compute_per_batch_s)
+                    if epoch == 0:
+                        first_epoch_reads = tb.diesel.stats.chunk_reads
+                return waits, first_epoch_reads
+
+            waits, first_epoch_reads = tb.run(job())
+            result.add(
+                prefetch_depth=depth,
+                mean_wait_s=float(np.mean(waits)),
+                p95_wait_s=float(np.percentile(waits, 95)),
+                total_stall_s=float(np.sum(waits)),
+                chunk_reads=tb.diesel.stats.chunk_reads,
+                # Cold epoch needs exactly one transfer per chunk; any
+                # excess is a duplicate the single-flight map should
+                # have prevented.
+                duplicate_reads=first_epoch_reads - len(chunks),
+                prefetch_hits=client.stats.prefetch_hits,
+                prefetch_misses=client.stats.prefetch_misses,
+                prefetch_wasted=client.stats.prefetch_wasted,
+            )
+        base = result.one(prefetch_depth=depths[0])
+        for depth in depths[1:]:
+            row = result.one(prefetch_depth=depth)
+            result.note(
+                f"depth {depth}: mean stall "
+                f"{row['mean_wait_s'] / base['mean_wait_s']:.2f}x on-demand, "
+                f"{row['duplicate_reads']} duplicate chunk transfers"
+            )
+    return result
+
+
 #: Registry used by the CLI-style runner and the EXPERIMENTS.md generator.
 ALL_EXPERIMENTS = {
     "table2": table2_read_bandwidth,
@@ -1093,4 +1177,5 @@ ALL_EXPERIMENTS = {
     "fig13": fig13_shuffle_accuracy,
     "fig14": fig14_data_access_time,
     "fig15": fig15_training_time,
+    "prefetch": prefetch_pipeline,
 }

@@ -56,6 +56,27 @@ def format_result(result: ExperimentResult) -> str:
     return "\n".join(parts)
 
 
+def result_to_dict(result: ExperimentResult) -> Dict[str, Any]:
+    """Plain-dict form of an ExperimentResult (JSON-serializable)."""
+    return {
+        "name": result.name,
+        "paper_ref": result.paper_ref,
+        "rows": result.rows,
+        "notes": result.notes,
+        "wall_seconds": result.wall_seconds,
+    }
+
+
+def write_json(result: ExperimentResult, path) -> None:
+    """Dump one experiment as a machine-readable JSON artifact."""
+    import json
+    from pathlib import Path
+
+    Path(path).write_text(
+        json.dumps(result_to_dict(result), indent=2, sort_keys=False) + "\n"
+    )
+
+
 def shape_check(
     label: str, measured: float, expected: float, rel_tol: float
 ) -> Dict[str, Any]:

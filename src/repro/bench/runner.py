@@ -9,7 +9,9 @@ Regenerate any paper table/figure from the command line::
 
 Prints each experiment's paper-style table and notes; ``--csv DIR``
 additionally writes one ``<experiment>.csv`` per artifact (the series a
-plotting tool would consume).  Exits non-zero if an experiment raises.
+plotting tool would consume) and ``--json DIR`` one
+``BENCH_<experiment>.json`` (rows + notes, machine-readable).  Exits
+non-zero if an experiment raises.
 """
 
 from __future__ import annotations
@@ -22,7 +24,7 @@ from typing import Optional, Sequence
 
 from repro.bench.experiments import ALL_EXPERIMENTS
 from repro.bench.harness import ExperimentResult
-from repro.bench.reporting import format_result
+from repro.bench.reporting import format_result, write_json
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -40,6 +42,9 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="list available experiments and exit")
     parser.add_argument("--csv", metavar="DIR", default=None,
                         help="also write each experiment's rows to DIR/<id>.csv")
+    parser.add_argument("--json", metavar="DIR", default=None,
+                        help="also write each experiment (rows + notes) "
+                             "to DIR/BENCH_<id>.json")
     return parser
 
 
@@ -78,6 +83,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.csv is not None:
         csv_dir = Path(args.csv)
         csv_dir.mkdir(parents=True, exist_ok=True)
+    json_dir: Optional[Path] = None
+    if args.json is not None:
+        json_dir = Path(args.json)
+        json_dir.mkdir(parents=True, exist_ok=True)
     failures = 0
     for name in names:
         try:
@@ -91,6 +100,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             target = csv_dir / f"{name}.csv"
             write_csv(result, target)
             print(f"(rows written to {target})")
+        if json_dir is not None:
+            target = json_dir / f"BENCH_{name}.json"
+            write_json(result, target)
+            print(f"(result written to {target})")
         print()
     return 1 if failures else 0
 

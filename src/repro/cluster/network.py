@@ -91,10 +91,18 @@ class NetworkFabric:
         serialize = nbytes / self.profile.bandwidth_bps
         # Ordered acquisition: egress first, then ingress (deadlock-free).
         egress_req = src.egress._station.request()
-        yield egress_req
+        try:
+            yield egress_req
+        except BaseException:
+            src.egress._station.abandon(egress_req)
+            raise
         try:
             ingress_req = dst.ingress._station.request()
-            yield ingress_req
+            try:
+                yield ingress_req
+            except BaseException:
+                dst.ingress._station.abandon(ingress_req)
+                raise
             try:
                 yield self.env.timeout(self.profile.latency_s + serialize)
             finally:

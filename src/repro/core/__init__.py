@@ -12,6 +12,7 @@ Subpackages/modules:
 * :mod:`repro.core.client` — libDIESEL (Table 3 API);
 * :mod:`repro.core.dist_cache` — task-grained distributed cache (§4.2);
 * :mod:`repro.core.shuffle` — chunk-wise shuffle (§4.3, Fig 8);
+* :mod:`repro.core.prefetch` — pipelined chunk prefetch over epoch plans;
 * :mod:`repro.core.fuse` — FUSE-style POSIX facade;
 * :mod:`repro.core.config` — system configuration + ETCD-like store.
 """
@@ -22,6 +23,7 @@ from repro.core.client import DieselClient
 from repro.core.config import ConfigStore, DieselConfig
 from repro.core.dist_cache import TaskCache
 from repro.core.fuse import FuseMount
+from repro.core.prefetch import ChunkPrefetcher
 from repro.core.server import DieselServer
 from repro.core.shuffle import chunkwise_shuffle, full_shuffle
 from repro.core.snapshot import MetadataSnapshot, SnapshotIndex
@@ -30,6 +32,7 @@ __all__ = [
     "Chunk",
     "ChunkBuilder",
     "ChunkFile",
+    "ChunkPrefetcher",
     "ConfigStore",
     "DieselClient",
     "DieselConfig",

@@ -69,12 +69,14 @@ class Chunk:
         self,
         chunk_id: ChunkId,
         files: Sequence[ChunkFile],
-        data: bytes,
+        data: "bytes | bytearray | memoryview",
         deletion_bitmap: Bitmap | None = None,
     ) -> None:
         self.chunk_id = chunk_id
         self.files = tuple(files)
-        self.data = bytes(data)
+        # Held as a memoryview so decode can alias the wire blob's data
+        # section instead of copying 4 MB per chunk on the read hot path.
+        self.data = data if isinstance(data, memoryview) else memoryview(data)
         self.deletion_bitmap = (
             deletion_bitmap if deletion_bitmap is not None else Bitmap(len(files))
         )
@@ -135,9 +137,13 @@ class Chunk:
         return self.files[self.index_of(path)]
 
     def payload(self, path: str, verify: bool = True) -> bytes:
-        """Extract one file's bytes, optionally verifying its checksum."""
+        """Extract one file's bytes, optionally verifying its checksum.
+
+        Slices the data-section view, so only the file's own bytes are
+        copied out — never the surrounding chunk.
+        """
         f = self.entry(path)
-        raw = self.data[f.offset : f.offset + f.length]
+        raw = bytes(self.data[f.offset : f.offset + f.length])
         if verify and zlib.crc32(raw) != f.crc32:
             raise ChunkChecksumError(
                 f"payload checksum mismatch for {f.path!r} in chunk "
@@ -184,9 +190,13 @@ class Chunk:
         out += _U32.pack(zlib.crc32(bytes(out)))
         return bytes(out)
 
+    def data_bytes(self) -> bytes:
+        """Materialize the data section as ``bytes`` (copies)."""
+        return bytes(self.data)
+
     def encode(self) -> bytes:
         """Serialize the whole chunk (header + data section)."""
-        return self.header_bytes() + self.data
+        return b"".join((self.header_bytes(), self.data))
 
     @classmethod
     def decode_header(cls, blob: bytes) -> tuple["Chunk", int]:
@@ -229,19 +239,23 @@ class Chunk:
         shell = cls.__new__(cls)
         shell.chunk_id = chunk_id
         shell.files = tuple(files)
-        shell.data = b""
+        shell.data = memoryview(b"")
         shell.deletion_bitmap = bitmap
         shell._by_path = {f.path: i for i, f in enumerate(files)}
         return shell, data_offset
 
     @classmethod
     def decode(cls, blob: bytes) -> "Chunk":
-        """Parse a full chunk, validating structure and header checksum."""
+        """Parse a full chunk, validating structure and header checksum.
+
+        The returned chunk's data section is a zero-copy view over
+        ``blob`` (which therefore stays alive as long as the chunk does).
+        """
         shell, data_offset = cls.decode_header(blob)
         return cls(
             shell.chunk_id,
             shell.files,
-            blob[data_offset:],
+            memoryview(blob)[data_offset:],
             shell.deletion_bitmap,
         )
 

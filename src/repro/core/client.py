@@ -30,6 +30,7 @@ from repro.core.chunk_builder import ChunkBuilder
 from repro.core.config import DieselConfig
 from repro.core.dist_cache import CacheClient, TaskCache
 from repro.core.meta import FileRecord
+from repro.core.prefetch import ChunkPrefetcher
 from repro.core.server import DieselServer
 from repro.core.shuffle import EpochPlan, chunkwise_shuffle, full_shuffle
 from repro.core.snapshot import MetadataSnapshot, SnapshotIndex
@@ -75,6 +76,8 @@ class ClientStats:
     __slots__ = (
         "puts", "gets", "local_hits", "cache_hits", "server_reads",
         "chunks_sent", "bytes_written", "bytes_read",
+        "batched_gets", "prefetch_issued", "prefetch_hits",
+        "prefetch_misses", "prefetch_wasted",
     )
 
     def __init__(self) -> None:
@@ -86,6 +89,13 @@ class ClientStats:
         self.chunks_sent = 0
         self.bytes_written = 0
         self.bytes_read = 0
+        #: get_many() batches resolved (however many files each).
+        self.batched_gets = 0
+        #: Pipelined-prefetch accounting (see repro.core.prefetch).
+        self.prefetch_issued = 0
+        self.prefetch_hits = 0
+        self.prefetch_misses = 0
+        self.prefetch_wasted = 0
 
 
 class DieselClient:
@@ -127,7 +137,10 @@ class DieselClient:
         self._shuffle_group_size = self.config.shuffle_group_size
         self._group_cache: "OrderedDict[str, Chunk]" = OrderedDict()
         #: In-flight chunk fetches (single-flight): encoded cid -> Event.
+        #: Shared by demand reads and the prefetch pipeline, so a chunk
+        #: is never transferred twice no matter who asks first.
         self._inflight: Dict[str, Any] = {}
+        self._prefetcher: Optional["ChunkPrefetcher"] = None
         self._epoch = 0
 
     # --------------------------------------------------------------- helpers
@@ -234,6 +247,90 @@ class DieselClient:
         self.stats.bytes_read += len(payload)
         return payload
 
+    def get_many(
+        self, paths: Sequence[str]
+    ) -> Generator[Event, Any, Dict[str, bytes]]:
+        """Batched DL_get: resolve a whole mini-batch in one pass.
+
+        Follows the same Fig 4 resolution chain as :meth:`get`, but
+        amortized: paths are grouped by chunk so each group-cache chunk
+        is resolved once (shuffle mode), and everything that has to go
+        to a DIESEL server travels in a single ``get_files`` RPC whose
+        request executor merges the batch into chunk-wise range reads.
+        Returns ``{path: payload}``.
+        """
+        self._check_open()
+        paths = [normalize(p) for p in paths]
+        self.stats.gets += len(paths)
+        yield self.env.timeout(self.cal.diesel.api_read_overhead_s)
+        out: Dict[str, bytes] = {}
+        remote: list[str] = []
+        if self._shuffle_enabled and self._index is not None:
+            # Group the batch by chunk; resolve each chunk once.
+            by_chunk: "OrderedDict[str, list[FileRecord]]" = OrderedDict()
+            for path in paths:
+                record = self._record_for(path)
+                if record is None:
+                    remote.append(path)
+                else:
+                    by_chunk.setdefault(
+                        record.chunk_id.encode(), []
+                    ).append(record)
+            for encoded, records in by_chunk.items():
+                resident = encoded in self._group_cache
+                if self._prefetcher is not None:
+                    self._prefetcher.on_access(
+                        encoded, resident=resident,
+                        in_flight=encoded in self._inflight,
+                    )
+                if resident:
+                    chunk = self._group_cache[encoded]
+                    self._group_cache.move_to_end(encoded)
+                    self.stats.local_hits += len(records)
+                    yield self.env.timeout(2e-7 * len(records))
+                else:
+                    chunk = yield from self._ensure_chunk(encoded)
+                    self.stats.local_hits += len(records) - 1
+                for record in records:
+                    payload = chunk.payload(record.path, verify=False)
+                    out[record.path] = payload
+                    self.stats.bytes_read += len(payload)
+        elif self._cache is not None and self._index is not None:
+            # Task-grained distributed cache: one-hop fetch per file
+            # from the owning master (already chunk-resident there).
+            for path in paths:
+                record = self._record_for(path)
+                if record is None:
+                    remote.append(path)
+                    continue
+                payload = yield from self._cache.read_file(
+                    self.as_cache_client(), record
+                )
+                self.stats.cache_hits += 1
+                out[path] = payload
+                self.stats.bytes_read += len(payload)
+        else:
+            remote = list(paths)
+        if remote:
+            known = [self._record_for(p) for p in remote]
+            response_bytes = (
+                sum(r.length for r in known)
+                if all(r is not None for r in known) else None
+            )
+            got = yield from self._server().call(
+                self.node,
+                "get_files",
+                self.dataset,
+                tuple(remote),
+                response_bytes=response_bytes,
+            )
+            self.stats.server_reads += 1
+            for path, payload in got.items():
+                out[path] = payload
+                self.stats.bytes_read += len(payload)
+        self.stats.batched_gets += 1
+        return out
+
     def get_range(
         self, path: str, offset: int, length: int
     ) -> Generator[Event, Any, bytes]:
@@ -285,49 +382,94 @@ class DieselClient:
         yield from self.put(path, data)
         yield from self.flush()
 
+    def _cache_capacity(self) -> int:
+        """Group-cache chunk budget: the §4.3 bound, plus the pipeline's
+        look-ahead window while a prefetcher is active."""
+        extra = (
+            self._prefetcher.depth
+            if self._prefetcher is not None and self._prefetcher.active
+            else 0
+        )
+        return self._shuffle_group_size + extra
+
+    def _admit_chunk(self, encoded: str, chunk: Chunk) -> None:
+        while len(self._group_cache) >= self._cache_capacity():
+            # LRU, but skip chunks the pipeline fetched ahead and the
+            # consumer has not reached yet (evicting those would waste
+            # the transfer and force a duplicate fetch).
+            victim = next(
+                (
+                    key for key in self._group_cache
+                    if self._prefetcher is None
+                    or not self._prefetcher.protects(key)
+                ),
+                next(iter(self._group_cache)),
+            )
+            del self._group_cache[victim]
+            if self._prefetcher is not None:
+                self._prefetcher.on_evict(victim)
+        self._group_cache[encoded] = chunk
+
+    def _ensure_chunk(self, encoded: str) -> Generator[Event, Any, Chunk]:
+        """Resolve one chunk into the group cache (single-flight).
+
+        Used by both demand reads and the prefetch pipeline.  If another
+        fetch of the same chunk is in flight, waits for it instead of
+        duplicating the 4 MB transfer; if the chunk was evicted while
+        waiting, loops and re-fetches.
+        """
+        while True:
+            chunk = self._group_cache.get(encoded)
+            if chunk is not None:
+                self._group_cache.move_to_end(encoded)
+                return chunk
+            pending = self._inflight.get(encoded)
+            if pending is not None:
+                yield pending
+                continue  # re-check: hit, or evicted-while-waiting
+            done = self.env.event()
+            self._inflight[encoded] = done
+            try:
+                blob = yield from self._server().call(
+                    self.node,
+                    "get_chunk",
+                    self.dataset,
+                    encoded,
+                    response_bytes=None,
+                )
+                chunk = Chunk.decode(blob)
+                self._admit_chunk(encoded, chunk)
+                self.stats.server_reads += 1
+            finally:
+                del self._inflight[encoded]
+                done.succeed()
+            return chunk
+
     def _get_via_group_cache(
         self, record: FileRecord
     ) -> Generator[Event, Any, bytes]:
         """Serve from the per-group chunk working set, fetching whole chunks.
 
-        The cache holds at most ``shuffle_group_size`` chunks: exactly the
-        §4.3 memory bound (group_size × chunk_size), ~2 GB for the paper's
-        ImageNet-1K run vs the 150 GB dataset.
+        The cache holds at most ``shuffle_group_size`` chunks — exactly
+        the §4.3 memory bound (group_size × chunk_size), ~2 GB for the
+        paper's ImageNet-1K run vs the 150 GB dataset — plus the
+        prefetch pipeline's ``prefetch_depth`` look-ahead when enabled.
         """
         encoded = record.chunk_id.encode()
-        chunk = self._group_cache.get(encoded)
-        if chunk is None:
-            inflight = self._inflight.get(encoded)
-            if inflight is not None:
-                # Another I/O thread of this mount is already fetching the
-                # chunk (single-flight); wait for it instead of duplicating
-                # the 4MB read.
-                yield inflight
-                chunk = self._group_cache.get(encoded)
-            if chunk is None:
-                done = self.env.event()
-                self._inflight[encoded] = done
-                try:
-                    blob = yield from self._server().call(
-                        self.node,
-                        "get_chunk",
-                        self.dataset,
-                        encoded,
-                        response_bytes=None,
-                    )
-                    chunk = Chunk.decode(blob)
-                    while len(self._group_cache) >= self._shuffle_group_size:
-                        self._group_cache.popitem(last=False)
-                    self._group_cache[encoded] = chunk
-                    self.stats.server_reads += 1
-                finally:
-                    del self._inflight[encoded]
-                    done.succeed()
-        else:
+        resident = encoded in self._group_cache
+        if self._prefetcher is not None:
+            self._prefetcher.on_access(
+                encoded, resident=resident,
+                in_flight=encoded in self._inflight,
+            )
+        if resident:
+            chunk = self._group_cache[encoded]
             self._group_cache.move_to_end(encoded)
             self.stats.local_hits += 1
             # In-memory extraction: negligible but non-zero.
             yield self.env.timeout(2e-7)
+        else:
+            chunk = yield from self._ensure_chunk(encoded)
         return chunk.payload(record.path, verify=False)
 
     def working_set_bytes(self) -> int:
@@ -394,6 +536,7 @@ class DieselClient:
         self._shuffle_enabled = True
 
     def disable_shuffle(self) -> None:
+        self.cancel_prefetch()
         self._shuffle_enabled = False
         self._group_cache.clear()
 
@@ -401,27 +544,69 @@ class DieselClient:
     def shuffle_enabled(self) -> bool:
         return self._shuffle_enabled
 
+    @property
+    def prefetcher(self) -> Optional[ChunkPrefetcher]:
+        """The active chunk prefetch pipeline, if any."""
+        return self._prefetcher
+
+    def start_prefetch(
+        self, plan: EpochPlan, depth: Optional[int] = None
+    ) -> ChunkPrefetcher:
+        """Start (or restart) the pipelined chunk prefetcher for ``plan``.
+
+        Cancels any previous pipeline first.  ``depth`` defaults to
+        ``DieselConfig.prefetch_depth``.
+        """
+        self._check_open()
+        if not self._shuffle_enabled:
+            raise DieselError("prefetch requires shuffle mode (DL_shuffle)")
+        self.cancel_prefetch()
+        self._prefetcher = ChunkPrefetcher(
+            self, plan, depth if depth is not None else self.config.prefetch_depth
+        )
+        return self._prefetcher
+
+    def cancel_prefetch(self) -> None:
+        """Stop the prefetch pipeline and interrupt in-flight fetches."""
+        if self._prefetcher is not None:
+            self._prefetcher.cancel()
+            self._prefetcher = None
+
+    def _epoch_seed(self, seed: Optional[int]) -> int:
+        """Per-epoch RNG seed.  A caller-fixed seed is *mixed with* the
+        epoch counter: the epoch sequence is reproducible, yet successive
+        epochs still get different orders (§2.1's anti-overfitting
+        contract — a bare fixed seed used to repeat the same order)."""
+        if seed is None:
+            return hash((self.dataset, self._epoch))
+        return hash((seed, self._epoch))
+
     def epoch_file_list(self, seed: Optional[int] = None) -> EpochPlan:
         """Generate the next epoch's chunk-wise-shuffled file order.
 
         Each call advances the epoch counter so successive epochs get
-        different orders (required to avoid overfitting, §2.1).
+        different orders (required to avoid overfitting, §2.1) — even
+        when ``seed`` is fixed, which makes the whole epoch *sequence*
+        (not each epoch) reproducible.  When
+        ``DieselConfig.prefetch_depth > 0`` the plan also (re)starts the
+        pipelined chunk prefetcher over its chunk schedule.
         """
         self._check_open()
         if not self._shuffle_enabled:
             raise DieselError("call enable_shuffle() first")
-        rng = random.Random(
-            seed if seed is not None else (hash(self.dataset) ^ self._epoch)
-        )
+        rng = random.Random(self._epoch_seed(seed))
         self._epoch += 1
-        return chunkwise_shuffle(
+        plan = chunkwise_shuffle(
             self.index.files_by_chunk(), self._shuffle_group_size, rng
         )
+        if self.config.prefetch_depth > 0:
+            self.start_prefetch(plan)
+        return plan
 
     def full_shuffle_list(self, seed: Optional[int] = None) -> list[str]:
         """Baseline shuffle-over-dataset order (for comparisons)."""
         self._check_open()
-        rng = random.Random(seed if seed is not None else self._epoch)
+        rng = random.Random(self._epoch_seed(seed))
         self._epoch += 1
         return full_shuffle(self.index.all_paths(), rng)
 
@@ -448,6 +633,7 @@ class DieselClient:
 
     def close(self) -> None:
         """DL_close: releases the context; further calls raise ClosedError."""
+        self.cancel_prefetch()
         self._closed = True
         self._group_cache.clear()
 
@@ -476,6 +662,9 @@ class SyncDieselClient:
 
     def get(self, path: str) -> bytes:
         return self._run(self.client.get(path))
+
+    def get_many(self, paths: Sequence[str]) -> Dict[str, bytes]:
+        return self._run(self.client.get_many(paths))
 
     def stat(self, path: str) -> dict:
         return self._run(self.client.stat(path))

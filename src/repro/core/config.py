@@ -25,6 +25,10 @@ class DieselConfig:
     cache_policy: str = "oneshot"
     #: Chunk-wise shuffle group size (chunks per group, §4.3/Fig 13).
     shuffle_group_size: int = 100
+    #: Chunks kept in flight ahead of the shuffle-mode consumer (§4.3's
+    #: "sequential chunk reads hidden behind compute").  0 disables the
+    #: pipeline: every group-cache miss stalls for a full chunk fetch.
+    prefetch_depth: int = 0
     #: Enable the server-side HDD→SSD cache tier (Fig 4).
     server_cache: bool = True
     #: DIESEL clients spawned per FUSE mount (§5 multi-client FUSE loop).
@@ -37,6 +41,8 @@ class DieselConfig:
             raise ValueError(f"unknown cache policy: {self.cache_policy!r}")
         if self.shuffle_group_size < 1:
             raise ValueError("shuffle_group_size must be >= 1")
+        if self.prefetch_depth < 0:
+            raise ValueError("prefetch_depth must be >= 0")
         if self.fuse_clients < 1:
             raise ValueError("fuse_clients must be >= 1")
 

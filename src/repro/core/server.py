@@ -68,6 +68,32 @@ def parse_object_key(key: str) -> tuple[str, ChunkId]:
     return dataset, decode_chunk_id(encoded)
 
 
+class ServerStats:
+    """Data-path read counters (chunk transfers, batched reads).
+
+    ``chunk_reads`` counts whole-chunk transfers served to clients; the
+    pipelined-prefetch benchmarks assert against it to prove the
+    single-flight map eliminates duplicate chunk fetches.
+    """
+
+    __slots__ = (
+        "chunk_reads", "file_reads", "range_reads",
+        "batch_reads", "batch_files", "batch_spans", "ingests",
+    )
+
+    def __init__(self) -> None:
+        self.chunk_reads = 0
+        self.file_reads = 0
+        self.range_reads = 0
+        #: get_files/read_files RPCs served.
+        self.batch_reads = 0
+        #: Files delivered through batched RPCs.
+        self.batch_files = 0
+        #: Merged chunk-wise range reads issued for batched RPCs.
+        self.batch_spans = 0
+        self.ingests = 0
+
+
 class DieselServer:
     """One DIESEL server process bound to a cluster node."""
 
@@ -92,6 +118,7 @@ class DieselServer:
         self.config = config or DieselConfig()
         self.cal = calibration
         self.name = name
+        self.stats = ServerStats()
         #: Optional user→key credentials checked by DL_connect; None
         #: means open access (the default in trusted-cluster deployments).
         self.access_keys = access_keys
@@ -126,6 +153,7 @@ class DieselServer:
             "get_file": self._op_get_file,
             "get_file_range": self._op_get_file_range,
             "read_files": self._op_read_files,
+            "get_files": self._op_get_files,
             "get_chunk": self._op_get_chunk,
             "get_chunk_range": self._op_get_chunk_range,
             "stat": self._op_stat,
@@ -250,6 +278,7 @@ class DieselServer:
         self.env.process(flush, name=f"flush:{chunk.chunk_id.encode()[:8]}")
         n_pairs = self.ingest_metadata(dataset, chunk)
         yield self.env.timeout(self._kv_pipeline_cost(n_pairs))
+        self.stats.ingests += 1
         return chunk.chunk_id.encode()
 
     def _read_range(
@@ -276,6 +305,7 @@ class DieselServer:
         payload = yield from self._read_range(
             key, data_offset + rec.offset, rec.length
         )
+        self.stats.file_reads += 1
         return payload
 
     def _op_read_files(
@@ -287,10 +317,30 @@ class DieselServer:
         chunk collapse into a single range read, so a shuffled mini-batch
         that happens to share chunks costs a handful of large reads.
         """
+        out = yield from self._batched_read(dataset, paths)
+        return out
+
+    def _op_get_files(
+        self, dataset: str, paths: Sequence[str]
+    ) -> Generator[Event, Any, Dict[str, bytes]]:
+        """Batched multi-get: the RPC behind the client's ``get_many()``.
+
+        Same request-executor machinery as ``read_files`` — paths are
+        grouped by chunk server-side and each resident chunk is read
+        once (one merged range per chunk), however many of its files the
+        batch asks for.
+        """
+        out = yield from self._batched_read(dataset, paths)
+        return out
+
+    def _batched_read(
+        self, dataset: str, paths: Sequence[str]
+    ) -> Generator[Event, Any, Dict[str, bytes]]:
         records = [(p, self._file_record(dataset, p)) for p in paths]
         yield self.env.timeout(len(records) / self.cal.redis.cluster_qps)
         records.sort(key=lambda pr: (pr[1].chunk_id, pr[1].offset))
         out: Dict[str, bytes] = {}
+        spans = 0
         i = 0
         while i < len(records):
             cid = records[i][1].chunk_id
@@ -306,7 +356,11 @@ class DieselServer:
             span = yield from self._read_range(key, data_offset + start, end - start)
             for p, r in run:
                 out[p] = span[r.offset - start : r.offset - start + r.length]
+            spans += 1
             i = j
+        self.stats.batch_reads += 1
+        self.stats.batch_files += len(records)
+        self.stats.batch_spans += spans
         return out
 
     def _op_get_file_range(
@@ -329,6 +383,7 @@ class DieselServer:
         payload = yield from self._read_range(
             key, data_offset + rec.offset + offset, length
         )
+        self.stats.range_reads += 1
         return payload
 
     def _op_get_chunk(
@@ -336,6 +391,7 @@ class DieselServer:
     ) -> Generator[Event, Any, bytes]:
         key = f"{dataset}/{encoded_cid}"
         blob = yield from self.store.get(key)
+        self.stats.chunk_reads += 1
         return blob
 
     def _op_get_chunk_range(
@@ -439,7 +495,7 @@ class DieselServer:
             else self.store.hdd
         )
         yield from device.write(len(header))
-        self.store.patch(key, header + full.data)
+        self.store.patch(key, b"".join((header, full.data)))
         self.kv.local_delete(meta.file_key(dataset, path))
         self.kv.local_delete(
             meta.dir_entry_key(dataset, dirname(path), basename(path), False)

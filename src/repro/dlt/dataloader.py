@@ -120,16 +120,23 @@ class SimDataLoader:
         for _ in range(self.num_workers):
             todo.put(None)  # stop sentinel per worker
 
+        read_batch = getattr(self.reader, "read_batch", None)
+
         def worker():
             while True:
                 paths = yield todo.get()
                 if paths is None:
                     return
                 t0 = self.env.now
-                items = []
-                for path in paths:
-                    data = yield from self.reader.read(path)
-                    items.append((path, data))
+                if read_batch is not None:
+                    # One batched read per mini-batch (DIESEL get_many()).
+                    got = yield from read_batch(paths)
+                    items = [(p, got[p]) for p in paths]
+                else:
+                    items = []
+                    for path in paths:
+                        data = yield from self.reader.read(path)
+                        items.append((path, data))
                 yield self._ready.put((items, self.env.now - t0))
 
         self._workers = [

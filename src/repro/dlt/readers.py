@@ -22,6 +22,14 @@ SHUFFLE_PER_FILE_S = 60e-9
 
 
 class EpochReader(Protocol):  # pragma: no cover - typing aid
+    """Storage backend for the training pipeline.
+
+    ``read_batch(paths) -> {path: bytes}`` is an *optional* extra method:
+    backends that can resolve a whole mini-batch in one round trip (the
+    DIESEL ``get_many()`` path) provide it, and the dataloader/trainer
+    workers prefer it over per-file ``read`` calls when present.
+    """
+
     def begin_epoch(self, epoch: int) -> Generator[Event, Any, list[str]]: ...
 
     def read(self, path: str) -> Generator[Event, Any, bytes]: ...
@@ -66,3 +74,10 @@ class FuseReader:
     def read(self, path: str) -> Generator[Event, Any, bytes]:
         data = yield from self.mount.read_file(path)
         return data
+
+    def read_batch(
+        self, paths: Sequence[str]
+    ) -> Generator[Event, Any, "dict[str, bytes]"]:
+        """Fetch a whole mini-batch with one batched mount read."""
+        payloads = yield from self.mount.read_files(paths)
+        return payloads

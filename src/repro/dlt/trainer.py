@@ -107,14 +107,20 @@ def run_training(
         for _ in range(io_workers):
             todo.put(None)  # one stop sentinel per worker
 
+        read_batch = getattr(reader, "read_batch", None)
+
         def io_worker(env=env, todo=todo, ready=ready):
             while True:
                 batch = yield todo.get()
                 if batch is None:
                     return
                 t0 = env.now
-                for path in batch:
-                    yield from reader.read(path)
+                if read_batch is not None:
+                    # Single batched read per mini-batch (get_many()).
+                    yield from read_batch(batch)
+                else:
+                    for path in batch:
+                        yield from reader.read(path)
                 yield ready.put(env.now - t0)
 
         workers = [

@@ -152,7 +152,13 @@ class RpcEndpoint:
         # Server-side queue + service; the handler's real logic runs when
         # the worker picks the request up.
         req = self._pool.request()
-        yield req
+        try:
+            yield req
+        except BaseException:
+            # Interrupted/failed while queued (or racing the grant):
+            # withdraw so the slot cannot leak.
+            self._pool.abandon(req)
+            raise
         try:
             try:
                 result = self._handler(method, *args)

@@ -149,7 +149,16 @@ class Process(Event):
             raise SimulationError(f"cannot interrupt finished process {self.name!r}")
         if self.env._active_process is self:
             raise SimulationError("a process cannot interrupt itself")
-        # Detach from whatever the process was waiting on.
+        interrupt_evt = Event(self.env)
+        interrupt_evt.callbacks.append(self._deliver_interrupt)
+        interrupt_evt.fail(InterruptError(cause))
+
+    def _deliver_interrupt(self, event: Event) -> None:
+        # Delivery happens a tick step after interrupt() was called, so
+        # the process may have started (acquiring a wait target) or even
+        # finished in between.  Detach *now*, not at interrupt() time.
+        if not self.is_alive:
+            return
         target = self._target
         if target is not None and target.callbacks is not None:
             try:
@@ -157,9 +166,7 @@ class Process(Event):
             except ValueError:
                 pass
         self._target = None
-        interrupt_evt = Event(self.env)
-        interrupt_evt.callbacks.append(self._resume)
-        interrupt_evt.fail(InterruptError(cause))
+        self._resume(event)
 
     def _resume(self, event: Event) -> None:
         self.env._active_process = self

@@ -76,6 +76,17 @@ class Resource:
             return
         request.cancelled = True
 
+    def abandon(self, request: Request) -> None:
+        """Give a request up whatever its state: release if granted,
+        withdraw if still queued.  The safe cleanup when a process is
+        interrupted at ``yield request()`` (it cannot know whether the
+        grant raced the interrupt).
+        """
+        if request in self._users:
+            self.release(request)
+        else:
+            request.cancelled = True
+
     def release(self, request: Request) -> None:
         if request not in self._users:
             raise SimulationError("releasing a request that does not hold the resource")
@@ -91,7 +102,11 @@ class Resource:
     def use(self, duration: float) -> Generator[Event, Any, None]:
         """Acquire one slot, hold it for ``duration``, release it."""
         req = self.request()
-        yield req
+        try:
+            yield req
+        except BaseException:
+            self.abandon(req)
+            raise
         try:
             yield self.env.timeout(duration)
         finally:

@@ -27,6 +27,29 @@ class SlowReader:
         return path.encode()
 
 
+class BatchReader(SlowReader):
+    """A reader exposing the optional batched read path.
+
+    One flat ``read_s`` per *batch* (instead of per file), the shape a
+    DIESEL ``get_many()`` backend has: the loader workers must prefer
+    ``read_batch`` over per-file ``read`` calls.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.batch_calls = 0
+        self.single_calls = 0
+
+    def read(self, path):
+        self.single_calls += 1
+        return (yield from super().read(path))
+
+    def read_batch(self, paths):
+        self.batch_calls += 1
+        yield self.env.timeout(self.read_s)
+        return {p: p.encode() for p in paths}
+
+
 def make_loader(n_files=20, batch=4, workers=2, read_s=1e-3, **kw):
     env = Environment()
     reader = SlowReader(env, [f"/f{i:02d}" for i in range(n_files)], read_s)
@@ -128,6 +151,27 @@ class TestLoader:
 
         stats = run_sync(env, train())
         assert stats.mean_wait() > 1e-3  # real stalls
+
+    def test_batched_reader_preferred(self):
+        env = Environment()
+        reader = BatchReader(env, [f"/f{i:02d}" for i in range(10)], 1e-3)
+        loader = SimDataLoader(env, reader, batch_size=4, num_workers=2)
+
+        def proc():
+            yield from loader.begin_epoch(0)
+            batches = yield from loader.drain()
+            return batches
+
+        batches = run_sync(env, proc())
+        # One read_batch per mini-batch, zero per-file reads.
+        assert reader.batch_calls == 3
+        assert reader.single_calls == 0
+        # Item order inside each delivered batch follows the path order.
+        for b in batches:
+            for path, data in b.items:
+                assert data == path.encode()
+        seen = [p for b in batches for p in b.paths]
+        assert sorted(seen) == sorted(f"/f{i:02d}" for i in range(10))
 
     def test_stats_accumulate(self):
         env, loader = make_loader(n_files=8, batch=4)
