@@ -77,6 +77,22 @@ def write_json(result: ExperimentResult, path) -> None:
     )
 
 
+def stats_row(
+    stats: Any, keys: Sequence[str] | None = None, prefix: str = ""
+) -> Dict[str, Any]:
+    """Select counters from a stats object's ``to_dict()`` as table cells.
+
+    The one sanctioned path from ``ClientStats`` / ``ServerStats`` /
+    ``CacheMasterStats`` into experiment rows — no ad-hoc attribute
+    plucking.  ``keys=None`` takes every counter; ``prefix`` namespaces
+    the columns (e.g. ``"srv_"``).
+    """
+    counters = stats.to_dict()
+    if keys is None:
+        keys = list(counters)
+    return {f"{prefix}{k}": counters[k] for k in keys}
+
+
 def shape_check(
     label: str, measured: float, expected: float, rel_tol: float
 ) -> Dict[str, Any]:

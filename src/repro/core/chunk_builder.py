@@ -5,14 +5,21 @@ reaches the chunk size the builder seals a chunk and hands it to a sink
 (normally the DIESEL server's ingest RPC).  ``DL_flush`` seals whatever
 remains.  Aggregation is what turns millions of per-file operations into
 a few thousand large object writes — the source of the Fig 9 write win.
+
+:class:`ChunkPipeline` is the *asynchronous* sink: instead of blocking
+``DL_put`` for each sealed chunk's full ingest round trip, it keeps up
+to ``DieselConfig.ingest_pipeline_depth`` sends in flight across the
+round-robin servers while later files are still being packed — the
+overlap §4.1.1's stateless-server design exists to permit.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Any, Callable, Generator, Iterable, Iterator, Optional
 
 from repro.core.chunk import DEFAULT_CHUNK_SIZE, Chunk
 from repro.errors import DieselError
+from repro.sim.engine import Environment, Event, Process, Semaphore
 from repro.util.ids import ChunkIdGenerator
 from repro.util.pathutil import normalize
 
@@ -82,12 +89,102 @@ class ChunkBuilder:
         """Convenience: pack an iterable of (path, bytes) into chunks."""
         if chunk_size is not None:
             self.chunk_size = chunk_size
-        chunks: list[Chunk] = []
+        return list(self.build_stream(items))
+
+    def build_stream(
+        self, items: Iterable[tuple[str, bytes]]
+    ) -> Iterator[Chunk]:
+        """Lazily seal chunks for an iterable of (path, bytes) pairs.
+
+        The async-sink twin of :meth:`build_all`: chunks come out as
+        they seal (final flush included), so a :class:`ChunkPipeline`
+        can ship each one while later files are still being packed.
+        """
         for path, payload in items:
             sealed = self.add(path, payload)
             if sealed is not None:
-                chunks.append(sealed)
+                yield sealed
         final = self.flush()
         if final is not None:
-            chunks.append(final)
-        return chunks
+            yield final
+
+
+class ChunkPipeline:
+    """Bounded asynchronous sink for sealed chunks (§4.1.1 write overlap).
+
+    Wraps a ``ship(chunk)`` generator (normally the client's ingest RPC)
+    behind a :class:`~repro.sim.engine.Semaphore` of ``depth`` slots:
+    :meth:`submit` waits only while ``depth`` sends are already in
+    flight (backpressure bounds buffered memory at
+    ``depth × chunk_size``), then ships the chunk in a background
+    process.  :meth:`drain` waits for everything in flight and
+    propagates the first send failure.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        ship: Callable[[Chunk], Generator[Event, Any, None]],
+        depth: int,
+        watermark: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        if depth < 1:
+            raise DieselError("ingest pipeline depth must be >= 1")
+        self.env = env
+        self.depth = depth
+        self._ship = ship
+        self._sem = Semaphore(env, depth)
+        self._watermark = watermark
+        self._procs: list[Process] = []
+        self.submitted = 0
+        self.shipped = 0
+
+    @property
+    def in_flight(self) -> int:
+        """Sends currently holding a pipeline slot."""
+        return self._sem.in_flight
+
+    def submit(self, chunk: Chunk) -> Generator[Event, Any, None]:
+        """Wait for a free slot, then ship ``chunk`` in the background."""
+        slot = self._sem.acquire()
+        try:
+            yield slot
+        except BaseException:
+            self._sem.abandon(slot)
+            raise
+        self.submitted += 1
+        if self._watermark is not None:
+            self._watermark(self._sem.in_flight)
+        self._procs.append(
+            self.env.process(
+                self._send(chunk, slot),
+                name=f"ingest:{chunk.chunk_id.encode()[:8]}",
+            )
+        )
+
+    def _send(self, chunk: Chunk, slot: Event) -> Generator[Event, Any, None]:
+        try:
+            yield from self._ship(chunk)
+            self.shipped += 1
+        finally:
+            self._sem.release(slot)
+
+    def drain(self) -> Generator[Event, Any, None]:
+        """Wait for all in-flight sends; propagates the first failure."""
+        procs, self._procs = self._procs, []
+        if procs:
+            yield self.env.all_of(procs)
+
+    def cancel(self) -> int:
+        """Interrupt in-flight sends (DL_close without a flush).
+
+        Returns the number of sends cut short; their semaphore slots are
+        released by the send processes' cleanup.
+        """
+        cut = 0
+        for proc in self._procs:
+            if proc.is_alive:
+                proc.interrupt("ingest pipeline cancelled")
+                cut += 1
+        self._procs.clear()
+        return cut

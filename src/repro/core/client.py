@@ -26,7 +26,7 @@ from typing import Any, Dict, Generator, Optional, Sequence
 
 from repro.calibration import Calibration, DEFAULT
 from repro.core.chunk import Chunk
-from repro.core.chunk_builder import ChunkBuilder
+from repro.core.chunk_builder import ChunkBuilder, ChunkPipeline
 from repro.core.config import DieselConfig
 from repro.core.dist_cache import CacheClient, TaskCache
 from repro.core.meta import FileRecord
@@ -36,7 +36,8 @@ from repro.core.shuffle import EpochPlan, chunkwise_shuffle, full_shuffle
 from repro.core.snapshot import MetadataSnapshot, SnapshotIndex
 from repro.errors import ClosedError, DieselError, StaleSnapshotError
 from repro.cluster.node import Node
-from repro.sim.engine import Environment, Event
+from repro.sim.engine import Environment, Event, fan_out
+from repro.util.hashing import stable_hash
 from repro.util.ids import ChunkIdGenerator
 from repro.util.pathutil import normalize
 
@@ -78,6 +79,7 @@ class ClientStats:
         "chunks_sent", "bytes_written", "bytes_read",
         "batched_gets", "prefetch_issued", "prefetch_hits",
         "prefetch_misses", "prefetch_wasted",
+        "ingest_inflight_hwm", "fetch_inflight_hwm",
     )
 
     def __init__(self) -> None:
@@ -96,6 +98,16 @@ class ClientStats:
         self.prefetch_hits = 0
         self.prefetch_misses = 0
         self.prefetch_wasted = 0
+        #: Scatter-gather high-water marks: the most chunk sends /
+        #: chunk+file fetches ever concurrently in flight.  Stay 0/1
+        #: with the fan-out knobs at their serial defaults — the proof
+        #: that the knobs really change overlap and nothing else.
+        self.ingest_inflight_hwm = 0
+        self.fetch_inflight_hwm = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        """All counters as ``{name: value}`` (the bench-reporting seam)."""
+        return {name: getattr(self, name) for name in self.__slots__}
 
 
 class DieselClient:
@@ -141,6 +153,8 @@ class DieselClient:
         #: is never transferred twice no matter who asks first.
         self._inflight: Dict[str, Any] = {}
         self._prefetcher: Optional["ChunkPrefetcher"] = None
+        #: Lazy async ingest sink (only when ingest_pipeline_depth > 1).
+        self._ingest: Optional[ChunkPipeline] = None
         self._epoch = 0
 
     # --------------------------------------------------------------- helpers
@@ -153,6 +167,16 @@ class DieselClient:
         s = self.servers[self._rr % len(self.servers)]
         self._rr += 1
         return s
+
+    def preferred_server(self, encoded_cid: str) -> DieselServer:
+        """Stable chunk→server placement (the scatter-gather seam).
+
+        Concurrent fetches advancing the shared round-robin cursor would
+        make placement depend on interleaving order; hashing the chunk
+        id pins each chunk to one server deterministically and spreads a
+        scattered batch across all of them.
+        """
+        return self.servers[stable_hash(encoded_cid, len(self.servers))]
 
     @property
     def snapshot_loaded(self) -> bool:
@@ -186,16 +210,57 @@ class DieselClient:
             + len(data) * self.cal.diesel.client_put_per_byte_s
         )
         if sealed is not None:
-            yield from self._send_chunk(sealed)
+            yield from self._dispatch_chunk(sealed)
 
     def flush(self) -> Generator[Event, Any, None]:
-        """DL_flush: seal and ship whatever is buffered."""
+        """DL_flush: seal and ship whatever is buffered; wait for every
+        pipelined send still in flight."""
         self._check_open()
         sealed = self._builder.flush()
         if sealed is not None:
-            yield from self._send_chunk(sealed)
+            yield from self._dispatch_chunk(sealed)
         else:
             yield self.env.timeout(0)
+        if self._ingest is not None:
+            yield from self._ingest.drain()
+
+    def put_many(
+        self, items: Sequence[tuple[str, bytes]]
+    ) -> Generator[Event, Any, int]:
+        """Batched DL_put + DL_flush: ingest a whole listing of files.
+
+        With ``ingest_pipeline_depth > 1`` chunk sends overlap the
+        packing of later files (§4.1.1 write overlap); the final flush
+        waits for every send.  Returns the number of chunks shipped.
+        """
+        before = self.stats.chunks_sent
+        for path, data in items:
+            yield from self.put(path, data)
+        yield from self.flush()
+        return self.stats.chunks_sent - before
+
+    def _note_ingest_inflight(self, n: int) -> None:
+        if n > self.stats.ingest_inflight_hwm:
+            self.stats.ingest_inflight_hwm = n
+
+    def _note_fetch_inflight(self, n: int) -> None:
+        if n > self.stats.fetch_inflight_hwm:
+            self.stats.fetch_inflight_hwm = n
+
+    def _dispatch_chunk(self, chunk: Chunk) -> Generator[Event, Any, None]:
+        """Ship a sealed chunk — synchronously at depth 1 (the legacy
+        path, byte-identical timing), else through the ingest pipeline."""
+        if self.config.ingest_pipeline_depth <= 1:
+            yield from self._send_chunk(chunk)
+            return
+        if self._ingest is None:
+            self._ingest = ChunkPipeline(
+                self.env,
+                self._send_chunk,
+                self.config.ingest_pipeline_depth,
+                watermark=self._note_ingest_inflight,
+            )
+        yield from self._ingest.submit(chunk)
 
     def _send_chunk(self, chunk: Chunk) -> Generator[Event, Any, None]:
         blob = chunk.encode()
@@ -276,21 +341,28 @@ class DieselClient:
                     by_chunk.setdefault(
                         record.chunk_id.encode(), []
                     ).append(record)
+            if self.config.read_fanout > 1:
+                resolved = yield from self._resolve_groups_fanout(by_chunk)
+            else:
+                resolved = {}
+                for encoded, records in by_chunk.items():
+                    resident = encoded in self._group_cache
+                    if self._prefetcher is not None:
+                        self._prefetcher.on_access(
+                            encoded, resident=resident,
+                            in_flight=encoded in self._inflight,
+                        )
+                    if resident:
+                        chunk = self._group_cache[encoded]
+                        self._group_cache.move_to_end(encoded)
+                        self.stats.local_hits += len(records)
+                        yield self.env.timeout(2e-7 * len(records))
+                    else:
+                        chunk = yield from self._ensure_chunk(encoded)
+                        self.stats.local_hits += len(records) - 1
+                    resolved[encoded] = chunk
             for encoded, records in by_chunk.items():
-                resident = encoded in self._group_cache
-                if self._prefetcher is not None:
-                    self._prefetcher.on_access(
-                        encoded, resident=resident,
-                        in_flight=encoded in self._inflight,
-                    )
-                if resident:
-                    chunk = self._group_cache[encoded]
-                    self._group_cache.move_to_end(encoded)
-                    self.stats.local_hits += len(records)
-                    yield self.env.timeout(2e-7 * len(records))
-                else:
-                    chunk = yield from self._ensure_chunk(encoded)
-                    self.stats.local_hits += len(records) - 1
+                chunk = resolved[encoded]
                 for record in records:
                     payload = chunk.payload(record.path, verify=False)
                     out[record.path] = payload
@@ -298,17 +370,36 @@ class DieselClient:
         elif self._cache is not None and self._index is not None:
             # Task-grained distributed cache: one-hop fetch per file
             # from the owning master (already chunk-resident there).
+            records: list[FileRecord] = []
             for path in paths:
                 record = self._record_for(path)
                 if record is None:
                     remote.append(path)
-                    continue
-                payload = yield from self._cache.read_file(
-                    self.as_cache_client(), record
+                else:
+                    records.append(record)
+            if self.config.read_fanout > 1 and records:
+                payloads = yield from fan_out(
+                    self.env,
+                    [
+                        self._cache.read_file(self.as_cache_client(), r)
+                        for r in records
+                    ],
+                    self.config.read_fanout,
+                    name="cache_fanout",
+                    watermark=self._note_fetch_inflight,
                 )
-                self.stats.cache_hits += 1
-                out[path] = payload
-                self.stats.bytes_read += len(payload)
+                for record, payload in zip(records, payloads):
+                    self.stats.cache_hits += 1
+                    out[record.path] = payload
+                    self.stats.bytes_read += len(payload)
+            else:
+                for record in records:
+                    payload = yield from self._cache.read_file(
+                        self.as_cache_client(), record
+                    )
+                    self.stats.cache_hits += 1
+                    out[record.path] = payload
+                    self.stats.bytes_read += len(payload)
         else:
             remote = list(paths)
         if remote:
@@ -330,6 +421,44 @@ class DieselClient:
                 self.stats.bytes_read += len(payload)
         self.stats.batched_gets += 1
         return out
+
+    def _resolve_groups_fanout(
+        self, by_chunk: "OrderedDict[str, list[FileRecord]]"
+    ) -> Generator[Event, Any, Dict[str, Chunk]]:
+        """Scatter a batch's chunk-group misses across servers.
+
+        Residents are served inline (same accounting as the serial
+        path); the misses fetch with up to ``read_fanout`` transfers in
+        flight.  Single-flight still holds — concurrent batches and the
+        prefetcher share ``_inflight``, so no chunk moves twice.
+        """
+        resolved: Dict[str, Chunk] = {}
+        missing: list[str] = []
+        for encoded, records in by_chunk.items():
+            resident = encoded in self._group_cache
+            if self._prefetcher is not None:
+                self._prefetcher.on_access(
+                    encoded, resident=resident,
+                    in_flight=encoded in self._inflight,
+                )
+            if resident:
+                chunk = self._group_cache[encoded]
+                self._group_cache.move_to_end(encoded)
+                self.stats.local_hits += len(records)
+                yield self.env.timeout(2e-7 * len(records))
+                resolved[encoded] = chunk
+            else:
+                self.stats.local_hits += len(records) - 1
+                missing.append(encoded)
+        if missing:
+            chunks = yield from fan_out(
+                self.env,
+                [self._ensure_chunk(e) for e in missing],
+                self.config.read_fanout,
+                name="read_fanout",
+            )
+            resolved.update(zip(missing, chunks))
+        return resolved
 
     def get_range(
         self, path: str, offset: int, length: int
@@ -372,11 +501,15 @@ class DieselClient:
         """
         self._check_open()
         path = normalize(path)
-        exists = yield from self._server().call(
+        # Pin one server for the read-check + delete pair: interleaving
+        # the round-robin cursor with concurrent pipelined sends must
+        # not split a logical operation across servers.
+        server = self._server()
+        exists = yield from server.call(
             self.node, "exists", self.dataset, path
         )
         if exists:
-            yield from self._server().call(
+            yield from server.call(
                 self.node, "delete_file", self.dataset, path
             )
         yield from self.put(path, data)
@@ -429,8 +562,16 @@ class DieselClient:
                 continue  # re-check: hit, or evicted-while-waiting
             done = self.env.event()
             self._inflight[encoded] = done
+            self._note_fetch_inflight(len(self._inflight))
+            # Scattered fetches use stable placement; the serial default
+            # keeps the legacy round-robin pick (identical behavior).
+            server = (
+                self.preferred_server(encoded)
+                if self.config.read_fanout > 1
+                else self._server()
+            )
             try:
-                blob = yield from self._server().call(
+                blob = yield from server.call(
                     self.node,
                     "get_chunk",
                     self.dataset,
@@ -634,6 +775,9 @@ class DieselClient:
     def close(self) -> None:
         """DL_close: releases the context; further calls raise ClosedError."""
         self.cancel_prefetch()
+        if self._ingest is not None:
+            self._ingest.cancel()
+            self._ingest = None
         self._closed = True
         self._group_cache.clear()
 
@@ -659,6 +803,9 @@ class SyncDieselClient:
 
     def flush(self) -> None:
         self._run(self.client.flush())
+
+    def put_many(self, items: Sequence[tuple[str, bytes]]) -> int:
+        return self._run(self.client.put_many(items))
 
     def get(self, path: str) -> bytes:
         return self._run(self.client.get(path))

@@ -33,6 +33,18 @@ class DieselConfig:
     server_cache: bool = True
     #: DIESEL clients spawned per FUSE mount (§5 multi-client FUSE loop).
     fuse_clients: int = 4
+    #: Sealed chunks DL_put keeps in flight across round-robin servers
+    #: (§4.1.1's write overlap, the Fig 9 discipline).  1 = ship each
+    #: chunk synchronously before packing the next (legacy serial path).
+    ingest_pipeline_depth: int = 1
+    #: Concurrent chunk/file fetches a batched read (``get_many``)
+    #: scatters across servers and cache masters.  1 = resolve the
+    #: batch's chunk groups serially (legacy).
+    read_fanout: int = 1
+    #: Concurrent chunk pulls per cache master during oneshot warmup and
+    #: recovery; all masters always stream concurrently, this bounds the
+    #: per-master overlap (Fig 11b).  1 = serial per-master stream.
+    warmup_fanout: int = 1
 
     def __post_init__(self) -> None:
         if self.chunk_size <= 0:
@@ -45,6 +57,12 @@ class DieselConfig:
             raise ValueError("prefetch_depth must be >= 0")
         if self.fuse_clients < 1:
             raise ValueError("fuse_clients must be >= 1")
+        if self.ingest_pipeline_depth < 1:
+            raise ValueError("ingest_pipeline_depth must be >= 1")
+        if self.read_fanout < 1:
+            raise ValueError("read_fanout must be >= 1")
+        if self.warmup_fanout < 1:
+            raise ValueError("warmup_fanout must be >= 1")
 
 
 class ConfigStore:

@@ -34,7 +34,7 @@ from repro.cluster.network import NetworkFabric
 from repro.cluster.node import Node
 from repro.rpc.connections import ConnectionTable
 from repro.rpc.endpoint import RpcEndpoint
-from repro.sim.engine import Environment, Event
+from repro.sim.engine import Environment, Event, fan_out
 
 
 @dataclass(frozen=True)
@@ -48,7 +48,7 @@ class CacheClient:
 
 class CacheMasterStats:
     __slots__ = ("hits", "misses", "chunks_loaded", "bytes_cached",
-                 "skipped_no_memory")
+                 "skipped_no_memory", "pull_inflight_hwm")
 
     def __init__(self) -> None:
         self.hits = 0
@@ -57,6 +57,13 @@ class CacheMasterStats:
         self.bytes_cached = 0
         #: Chunks left uncached because the node's memory budget ran out.
         self.skipped_no_memory = 0
+        #: Most chunk pulls ever concurrently in flight on this master
+        #: (stays 0/1 with ``warmup_fanout`` at its serial default).
+        self.pull_inflight_hwm = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        """All counters as ``{name: value}`` (the bench-reporting seam)."""
+        return {name: getattr(self, name) for name in self.__slots__}
 
 
 class CacheMaster:
@@ -145,19 +152,63 @@ class CacheMaster:
         self.stats.bytes_cached += len(blob)
         return True
 
-    def prefetch_all(self) -> Generator[Event, Any, int]:
+    def _note_pull_inflight(self, n: int) -> None:
+        if n > self.stats.pull_inflight_hwm:
+            self.stats.pull_inflight_hwm = n
+
+    def _pull_one(self, encoded_cid: str) -> Generator[Event, Any, bool]:
+        """One fan-out worker: pull a chunk unless the node died."""
+        if not self.node.alive:
+            return False
+        cached = yield from self._pull_chunk(encoded_cid)
+        return cached
+
+    def prefetch_all(self, fanout: int = 1) -> Generator[Event, Any, int]:
         """Oneshot policy: stream every assigned chunk from the server.
 
+        ``fanout`` bounds how many pulls this master keeps in flight
+        (``DieselConfig.warmup_fanout``); 1 is the legacy serial stream.
         Returns the number of chunks actually cached (memory-skipped
         chunks do not count).
         """
-        loaded = 0
-        for encoded_cid in self.assigned:
-            if not self.node.alive:
-                break
-            cached = yield from self._pull_chunk(encoded_cid)
-            loaded += bool(cached)
-        return loaded
+        if fanout <= 1:
+            loaded = 0
+            for encoded_cid in self.assigned:
+                if not self.node.alive:
+                    break
+                cached = yield from self._pull_chunk(encoded_cid)
+                loaded += bool(cached)
+            return loaded
+        results = yield from fan_out(
+            self.env,
+            [self._pull_one(cid) for cid in self.assigned],
+            fanout,
+            name=f"warm:{self.client.name}",
+            watermark=self._note_pull_inflight,
+        )
+        return sum(bool(r) for r in results)
+
+    def reload_missing(self, fanout: int = 1) -> Generator[Event, Any, int]:
+        """Recovery: pull every assigned chunk not yet resident.
+
+        Same bounded fan-out discipline as :meth:`prefetch_all`; returns
+        the number of chunks actually cached.
+        """
+        missing = [cid for cid in self.assigned if not self.has_chunk(cid)]
+        if fanout <= 1:
+            reloaded = 0
+            for encoded_cid in missing:
+                cached = yield from self._pull_chunk(encoded_cid)
+                reloaded += bool(cached)
+            return reloaded
+        results = yield from fan_out(
+            self.env,
+            [self._pull_one(cid) for cid in missing],
+            fanout,
+            name=f"recover:{self.client.name}",
+            watermark=self._note_pull_inflight,
+        )
+        return sum(bool(r) for r in results)
 
     def drop_all(self) -> None:
         """Release all cached chunks and return their memory."""
@@ -181,11 +232,14 @@ class TaskCache:
         policy: str = "oneshot",
         calibration: Calibration = DEFAULT,
         fallback_to_server: bool = True,
+        warmup_fanout: int = 1,
     ) -> None:
         if not clients:
             raise DieselError("a task cache needs at least one client")
         if policy not in ("oneshot", "on-demand"):
             raise DieselError(f"unknown cache policy {policy!r}")
+        if warmup_fanout < 1:
+            raise DieselError("warmup_fanout must be >= 1")
         names = [c.name for c in clients]
         if len(set(names)) != len(names):
             raise DieselError("client names must be unique")
@@ -196,6 +250,10 @@ class TaskCache:
         self.policy = policy
         self.cal = calibration
         self.fallback_to_server = fallback_to_server
+        #: Per-master chunk-pull concurrency for warmup and recovery
+        #: (``DieselConfig.warmup_fanout``); masters always run
+        #: concurrently with each other, this bounds each stream.
+        self.warmup_fanout = warmup_fanout
         self.clients = list(clients)
         self.connections = ConnectionTable()
         self.masters: Dict[str, CacheMaster] = {}  # node name -> master
@@ -242,7 +300,8 @@ class TaskCache:
         if self.policy == "oneshot":
             for m in master_list:
                 proc = self.env.process(
-                    m.prefetch_all(), name=f"prefetch:{m.client.name}"
+                    m.prefetch_all(self.warmup_fanout),
+                    name=f"prefetch:{m.client.name}",
                 )
                 self._prefetch_procs.append(proc)
         self._registered = True
@@ -331,13 +390,20 @@ class TaskCache:
     def dead_masters(self) -> list[CacheMaster]:
         return [m for m in self.masters.values() if not m.up]
 
-    def recover(self) -> Generator[Event, Any, int]:
+    def recover(
+        self, fanout: Optional[int] = None
+    ) -> Generator[Event, Any, int]:
         """Re-partition dead masters' chunks over survivors and reload them.
 
         Chunk-granular recovery: survivors stream whole chunks from the
-        object store, exploiting sequential bandwidth (Fig 11b).  Returns
-        the number of chunks re-loaded.
+        object store, exploiting sequential bandwidth (Fig 11b).
+        ``fanout`` (default: this cache's ``warmup_fanout``) bounds each
+        survivor's pull concurrency; when > 1 all survivors re-stream
+        concurrently, so recovery time scales with the *largest
+        partition*, not the orphaned total.  Returns the number of
+        chunks re-loaded.
         """
+        limit = self.warmup_fanout if fanout is None else fanout
         dead = self.dead_masters()
         if not dead:
             return 0
@@ -355,10 +421,19 @@ class TaskCache:
             owner = survivors[i % len(survivors)]
             owner.assigned.append(encoded_cid)
             self._owner_of[encoded_cid] = owner
-        reloaded = 0
-        for m in survivors:
-            for encoded_cid in m.assigned:
-                if not m.has_chunk(encoded_cid):
-                    cached = yield from m._pull_chunk(encoded_cid)
-                    reloaded += bool(cached)
-        return reloaded
+        if limit <= 1:
+            # Legacy serial re-stream: survivor after survivor.
+            reloaded = 0
+            for m in survivors:
+                for encoded_cid in m.assigned:
+                    if not m.has_chunk(encoded_cid):
+                        cached = yield from m._pull_chunk(encoded_cid)
+                        reloaded += bool(cached)
+            return reloaded
+        per_master = yield from fan_out(
+            self.env,
+            [m.reload_missing(limit) for m in survivors],
+            len(survivors),
+            name="recover",
+        )
+        return sum(per_master)

@@ -35,7 +35,7 @@ from typing import TYPE_CHECKING, Any, Dict, Generator, List, Set
 
 from repro.core.shuffle import EpochPlan
 from repro.errors import DieselError, InterruptError
-from repro.sim.engine import Event, Process
+from repro.sim.engine import Event, Process, Semaphore
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.client import DieselClient
@@ -74,6 +74,11 @@ class ChunkPrefetcher:
         self._outstanding: Set[str] = set()
         self._consumed: Set[str] = set()
         self._procs: Dict[str, Process] = {}
+        #: Caps concurrent *transfers* at ``depth``.  The window can
+        #: issue a replacement fetch while a consumed chunk's transfer
+        #: is still finishing, so without this the pipeline could
+        #: briefly exceed depth-K concurrency.
+        self._sem = Semaphore(client.env, depth)
         self._active = True
         self._top_up()
 
@@ -115,11 +120,23 @@ class ChunkPrefetcher:
             )
 
     def _fetch(self, encoded: str) -> Generator[Event, Any, None]:
+        slot = self._sem.acquire()
+        try:
+            if not slot.triggered:
+                yield slot
+        except InterruptError:
+            # Interrupted while queued (or racing the grant): give the
+            # request up without ever holding a slot.
+            self._sem.abandon(slot)
+            self._procs.pop(encoded, None)
+            return
+        self.client._note_fetch_inflight(self._sem.in_flight)
         try:
             yield from self.client._ensure_chunk(encoded)
         except InterruptError:
             return  # cancelled: single-flight cleanup already ran
         finally:
+            self._sem.release(slot)
             self._procs.pop(encoded, None)
 
     def protects(self, encoded: str) -> bool:

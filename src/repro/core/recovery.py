@@ -24,7 +24,7 @@ from typing import Any, Generator, Optional
 
 from repro.core.chunk import Chunk
 from repro.core.server import DieselServer, parse_object_key
-from repro.sim.engine import Event
+from repro.sim.engine import Event, fan_out
 from repro.util.ids import ChunkId
 
 #: Conservative bound on header bytes fetched per chunk during a scan.
@@ -42,10 +42,23 @@ def _scan_keys(server: DieselServer, dataset: str, from_ts: Optional[int]) -> li
     return keys
 
 
+def _read_header(
+    server: DieselServer, key: str
+) -> Generator[Event, Any, tuple[Any, int, int]]:
+    """Fetch one chunk header; returns (shell, data_offset, blob_len)."""
+    blob = server.store.peek(key)
+    header_bytes = min(HEADER_READ_BYTES, len(blob))
+    # Charge a header-sized read, not the whole chunk.
+    yield from server.store.get_range(key, 0, header_bytes)
+    shell, data_offset = Chunk.decode_header(blob)
+    return shell, data_offset, len(blob)
+
+
 def rebuild_dataset(
     server: DieselServer,
     dataset: str,
     from_timestamp: Optional[int] = None,
+    fanout: int = 1,
 ) -> Generator[Event, Any, int]:
     """Rebuild KV metadata for one dataset by scanning its chunks.
 
@@ -53,19 +66,35 @@ def rebuild_dataset(
     a value is scenario (a) — incremental rescan of chunks whose ID
     timestamp is ≥ the given (simulated-clock) second.
 
+    ``fanout > 1`` overlaps the header *reads* (the device-bound part of
+    the scan) with up to that many in flight; the metadata replay itself
+    always happens serially in written order — the dataset record's
+    chunk list must come out exactly as ingest appended it, or shuffle
+    plans built from a rebuilt index would diverge.
+
     Returns the number of chunks scanned.  The rebuilt dataset record's
     version restarts from the scan (monotonicity within the rebuild is
     preserved because chunks are replayed in written order).
     """
+    keys = _scan_keys(server, dataset, from_timestamp)
+    if fanout > 1 and len(keys) > 1:
+        headers = yield from fan_out(
+            server.env,
+            [_read_header(server, key) for key in keys],
+            fanout,
+            name=f"rebuild:{dataset}",
+        )
+        for shell, data_offset, blob_len in headers:
+            n_pairs = server.ingest_metadata(
+                dataset, shell, data_size=blob_len - data_offset
+            )
+            yield server.env.timeout(server._kv_pipeline_cost(n_pairs))
+        return len(keys)
     scanned = 0
-    for key in _scan_keys(server, dataset, from_timestamp):
-        blob = server.store.peek(key)
-        header_bytes = min(HEADER_READ_BYTES, len(blob))
-        # Charge a header-sized read, not the whole chunk.
-        yield from server.store.get_range(key, 0, header_bytes)
-        shell, data_offset = Chunk.decode_header(blob)
+    for key in keys:
+        shell, data_offset, blob_len = yield from _read_header(server, key)
         n_pairs = server.ingest_metadata(
-            dataset, shell, data_size=len(blob) - data_offset
+            dataset, shell, data_size=blob_len - data_offset
         )
         yield server.env.timeout(server._kv_pipeline_cost(n_pairs))
         scanned += 1
@@ -73,19 +102,22 @@ def rebuild_dataset(
 
 
 def rebuild_all(
-    server: DieselServer, from_timestamp: Optional[int] = None
+    server: DieselServer,
+    from_timestamp: Optional[int] = None,
+    fanout: int = 1,
 ) -> Generator[Event, Any, dict[str, int]]:
     """Rebuild every dataset found in the object store.
 
     Returns ``{dataset: chunks_scanned}``.  Dataset names come from the
     object-key prefix (chunks themselves are dataset-agnostic).
+    ``fanout`` is passed through to each dataset's rebuild.
     """
     datasets: dict[str, int] = {}
     for key in server.store.list_keys():
         ds, _ = parse_object_key(key)
         datasets.setdefault(ds, 0)
     for ds in sorted(datasets):
-        n = yield from rebuild_dataset(server, ds, from_timestamp)
+        n = yield from rebuild_dataset(server, ds, from_timestamp, fanout)
         datasets[ds] = n
     return datasets
 

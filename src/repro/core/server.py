@@ -93,6 +93,10 @@ class ServerStats:
         self.batch_spans = 0
         self.ingests = 0
 
+    def to_dict(self) -> dict:
+        """All counters as ``{name: value}`` (the bench-reporting seam)."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
 
 class DieselServer:
     """One DIESEL server process bound to a cluster node."""

@@ -32,7 +32,9 @@ from repro.sim.engine import (
     Environment,
     Event,
     Process,
+    Semaphore,
     Timeout,
+    fan_out,
     run_sync,
 )
 from repro.sim.resources import Container, Resource, Store
@@ -45,7 +47,9 @@ __all__ = [
     "Event",
     "Process",
     "Resource",
+    "Semaphore",
     "Store",
     "Timeout",
+    "fan_out",
     "run_sync",
 ]

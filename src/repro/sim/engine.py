@@ -10,6 +10,7 @@ becomes the process's :attr:`~Event.value`.
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.errors import DeadlockError, InterruptError, SimulationError
@@ -276,6 +277,137 @@ class AnyOf(_Condition):
             self.fail(event._value)
             return
         self.succeed(self._collect())
+
+
+class Semaphore:
+    """A counting semaphore over plain events (bounded fan-out).
+
+    ``acquire()`` returns an event that fires once one of ``slots`` is
+    granted; ``release(evt)`` frees the slot and grants the next
+    non-withdrawn waiter in FIFO order.  ``abandon(evt)`` gives a slot
+    request up whatever its state — releases if granted, withdraws if
+    still queued — the safe cleanup when the acquiring process is
+    interrupted at its ``yield`` (it cannot know whether the grant raced
+    the interrupt).  ``high_water`` records the most slots ever held at
+    once, the observable proof that overlap actually happened.
+
+    Lives in the engine (unlike :class:`repro.sim.resources.Resource`)
+    so :func:`fan_out` has no import cycle.
+    """
+
+    __slots__ = ("env", "slots", "_holders", "_queue", "_withdrawn",
+                 "high_water")
+
+    def __init__(self, env: "Environment", slots: int) -> None:
+        if slots < 1:
+            raise SimulationError(f"semaphore needs >= 1 slot, got {slots}")
+        self.env = env
+        self.slots = slots
+        self._holders: set[Event] = set()
+        self._queue: deque[Event] = deque()
+        self._withdrawn: set[Event] = set()
+        self.high_water = 0
+
+    @property
+    def in_flight(self) -> int:
+        """Slots currently held."""
+        return len(self._holders)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def _grant(self, evt: Event) -> None:
+        self._holders.add(evt)
+        if len(self._holders) > self.high_water:
+            self.high_water = len(self._holders)
+        evt.succeed()
+
+    def acquire(self) -> Event:
+        """Event that fires once a slot is held (immediately if free)."""
+        evt = Event(self.env)
+        if len(self._holders) < self.slots:
+            self._grant(evt)
+        else:
+            self._queue.append(evt)
+        return evt
+
+    def release(self, evt: Event) -> None:
+        if evt not in self._holders:
+            raise SimulationError("releasing a slot that is not held")
+        self._holders.remove(evt)
+        while self._queue:
+            nxt = self._queue.popleft()
+            if nxt in self._withdrawn:
+                self._withdrawn.discard(nxt)
+                continue
+            self._grant(nxt)
+            break
+
+    def abandon(self, evt: Event) -> None:
+        """Give a slot request up whatever its state."""
+        if evt in self._holders:
+            self.release(evt)
+        else:
+            self._withdrawn.add(evt)
+
+
+def fan_out(
+    env: "Environment",
+    gens: Iterable[Generator[Event, Any, Any]],
+    limit: int,
+    name: str = "fan_out",
+    watermark: Optional[Callable[[int], None]] = None,
+) -> Generator[Event, Any, list]:
+    """Scatter-gather: run generators concurrently, at most ``limit`` at once.
+
+    A generator function — drive it with ``yield from``.  Each of
+    ``gens`` runs as its own process once a :class:`Semaphore` slot
+    frees up, so at most ``limit`` are active at any simulated instant;
+    returns their return values in input order.  The first failure
+    interrupts every still-running worker (queued slot requests are
+    withdrawn, so no slot leaks) and then propagates.  Interrupting the
+    *calling* process mid-gather cancels the whole fan-out the same way.
+
+    ``watermark``, if given, is called with the number of concurrently
+    held slots as each worker starts — the hook callers use to record
+    in-flight high-water marks into their stats.
+    """
+    gens = list(gens)
+    if limit < 1:
+        raise SimulationError(f"fan_out limit must be >= 1, got {limit}")
+    results: list[Any] = [None] * len(gens)
+    if not gens:
+        return results
+    sem = Semaphore(env, limit)
+
+    def worker(index: int, gen: Generator[Event, Any, Any]):
+        slot = sem.acquire()
+        try:
+            yield slot
+        except BaseException:
+            sem.abandon(slot)
+            gen.close()
+            raise
+        if watermark is not None:
+            watermark(sem.in_flight)
+        try:
+            results[index] = yield from gen
+        finally:
+            sem.release(slot)
+
+    procs = [
+        env.process(worker(i, gen), name=f"{name}[{i}]")
+        for i, gen in enumerate(gens)
+    ]
+    try:
+        yield AllOf(env, procs)
+    except BaseException:
+        for proc in procs:
+            if proc.is_alive:
+                proc.interrupt("fan_out aborted")
+        raise
+    return results
 
 
 class Environment:

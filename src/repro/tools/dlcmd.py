@@ -31,6 +31,7 @@ import sys
 from pathlib import Path
 from typing import Iterable, Optional, Sequence
 
+from repro.core.config import DieselConfig
 from repro.errors import ReproError
 from repro.tools.workspace import DieselWorkspace
 from repro.util.units import format_bytes
@@ -48,6 +49,12 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--dataset", "-d", default="default",
         help="dataset name to operate on (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=1,
+        help="parallel I/O depth: chunk sends kept in flight during put "
+             "and concurrent header reads during workspace open "
+             "(default: %(default)s = serial)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -95,19 +102,18 @@ def cmd_put(ws: DieselWorkspace, dataset: str, args) -> str:
     if not source.exists():
         raise ReproError(f"no such local file or directory: {source}")
     client = ws.client(dataset)
-    count = total = 0
     if source.is_file():
-        data = source.read_bytes()
-        client.put(args.dest, data)
-        count, total = 1, len(data)
+        items = [(args.dest, source.read_bytes())]
     else:
-        for local, rel in _iter_local_files(source):
-            data = local.read_bytes()
-            client.put(f"{args.dest.rstrip('/')}/{rel}", data)
-            count += 1
-            total += len(data)
-    client.flush()
-    return f"uploaded {count} file(s), {format_bytes(total)}"
+        items = [
+            (f"{args.dest.rstrip('/')}/{rel}", local.read_bytes())
+            for local, rel in _iter_local_files(source)
+        ]
+    # One batched upload: with --jobs > 1 chunk sends overlap the
+    # packing of later files (the §4.1.1 ingest pipeline).
+    client.put_many(items)
+    total = sum(len(data) for _, data in items)
+    return f"uploaded {len(items)} file(s), {format_bytes(total)}"
 
 
 def cmd_get(ws: DieselWorkspace, dataset: str, args) -> str:
@@ -189,8 +195,14 @@ _COMMANDS = {
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handler, mutates = _COMMANDS[args.command]
+    if args.jobs < 1:
+        print("dlcmd: error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    config = DieselConfig(
+        ingest_pipeline_depth=args.jobs, read_fanout=args.jobs
+    )
     try:
-        ws = DieselWorkspace.open(args.workspace)
+        ws = DieselWorkspace.open(args.workspace, config)
         message = handler(ws, args.dataset, args)
         if mutates:
             ws.save(args.workspace)

@@ -107,8 +107,11 @@ class DieselWorkspace:
         if pos != len(blob):
             raise ChunkFormatError("trailing garbage in workspace file")
         ws.tb.store.load(items)
-        # Rebuild KV metadata by scanning the chunks (§4.1.2 scenario b).
-        proc = ws.tb.env.process(recovery.rebuild_all(ws.server))
+        # Rebuild KV metadata by scanning the chunks (§4.1.2 scenario b);
+        # the read_fanout knob overlaps the header reads across chunks.
+        proc = ws.tb.env.process(
+            recovery.rebuild_all(ws.server, fanout=ws.config.read_fanout)
+        )
         ws.tb.env.run(until=proc)
         return ws
 

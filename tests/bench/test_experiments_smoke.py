@@ -84,3 +84,24 @@ class TestExperimentSmoke:
         r = E.fig15_training_time(models=("alexnet",), epochs=2,
                                   n_files=300)
         assert r.one(model="alexnet")["normalized_total"] < 1.0
+
+    def test_ingest(self):
+        r = E.ingest_pipeline(depths=(1, 4), n_chunks=8,
+                              files_per_chunk=4, file_size=64 * KB)
+        deep = r.one(depth=4)
+        assert deep["ship_speedup"] > 1.0
+        assert deep["ship_hwm"] > 1
+        for row in r.rows:
+            assert row["server_ingests"] == row["chunks_shipped"]
+
+    def test_fanout(self):
+        # 256 x 128 KB = 8 chunks of 4 MB: enough per-master work for
+        # the fan-out to overlap at reduced scale.
+        r = E.fanout_scatter_gather(fanouts=(1, 4), n_files=256,
+                                    file_size=128 * KB, batch=24)
+        deep = r.one(fanout=4)
+        assert deep["warm_speedup"] > 1.0
+        assert deep["read_speedup"] > 1.0
+        assert deep["fetch_hwm"] > 1
+        for row in r.rows:
+            assert row["duplicate_reads"] == 0

@@ -208,3 +208,64 @@ class TestShardedKV:
         procs = [env.process(reader(env)) for _ in range(16)]
         env.run(until=env.all_of(procs))
         assert env.now == pytest.approx(192 / 1000, rel=0.1)
+
+
+class TestShardFailover:
+    """_live_owner routing when one shard's node dies (§4.1.2 scenario a)."""
+
+    def setup_with_dead_shard(self, n_keys=200):
+        env, _, kv, clients = build_cluster(n_instances=4)
+        keys = [f"key-{i}" for i in range(n_keys)]
+        for k in keys:
+            kv.local_put(k, k.encode())
+        victim = kv.instances[0]
+        victim.node.kill()
+        dead = [k for k in keys if kv.owner(k) is victim]
+        live = [k for k in keys if kv.owner(k) is not victim]
+        assert dead and live  # both populations exist at this key count
+        return env, kv, clients, victim, dead, live
+
+    def test_dead_shard_keys_raise_live_keys_unaffected(self):
+        env, kv, _, victim, dead, live = self.setup_with_dead_shard()
+        for k in dead[:5]:
+            with pytest.raises(ShardUnavailableError):
+                kv.local_get(k)
+        for k in live[:5]:
+            assert kv.local_get(k) == k.encode()
+
+    def test_rpc_path_rejects_dead_owner_before_spending_time(self):
+        env, kv, (client,), victim, dead, _ = self.setup_with_dead_shard()
+
+        def proc(env):
+            yield from kv.get(client, dead[0])
+
+        t0 = env.now
+        with pytest.raises(ShardUnavailableError):
+            run_sync(env, proc(env))
+        assert env.now == t0  # routing failed before any RPC cost accrued
+
+    def test_routing_is_deterministic_across_calls(self):
+        env, kv, _, victim, dead, live = self.setup_with_dead_shard()
+        # The same key always maps to the same shard — dead keys stay
+        # dead, live keys stay live, in any order of access.
+        for k in (live[0], dead[0], live[1], dead[1], live[0]):
+            if k in dead:
+                with pytest.raises(ShardUnavailableError):
+                    kv.local_get(k)
+            else:
+                assert kv.local_get(k) == k.encode()
+
+    def test_pscan_refuses_partial_views(self):
+        """A merged scan must never silently drop a dead shard's range."""
+        env, kv, _, victim, dead, live = self.setup_with_dead_shard()
+        with pytest.raises(ShardUnavailableError):
+            kv.local_pscan("key-")
+
+    def test_pscan_merged_ordering_deterministic(self):
+        env, _, kv, (client,) = build_cluster(n_instances=4)
+        keys = [f"key-{i:03d}" for i in range(60)]
+        for k in reversed(keys):  # insert out of order on purpose
+            kv.local_put(k, b"v")
+        merged = kv.local_pscan("key-")
+        assert [k for k, _ in merged] == sorted(keys)
+        assert merged == kv.local_pscan("key-")

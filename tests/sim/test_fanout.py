@@ -1,0 +1,246 @@
+"""Tests for the bounded scatter-gather layer: Semaphore + fan_out."""
+
+import pytest
+
+from repro.errors import InterruptError, SimulationError
+from repro.sim import Environment, Semaphore, fan_out, run_sync
+
+
+def task(env, delay, value, log=None):
+    """A worker generator: sleep ``delay`` then return ``value``."""
+    if log is not None:
+        log.append(("start", value, env.now))
+    yield env.timeout(delay)
+    if log is not None:
+        log.append(("end", value, env.now))
+    return value
+
+
+class TestSemaphore:
+    def test_needs_at_least_one_slot(self):
+        with pytest.raises(SimulationError):
+            Semaphore(Environment(), 0)
+
+    def test_immediate_grant_within_slots(self):
+        env = Environment()
+        sem = Semaphore(env, 2)
+        a, b = sem.acquire(), sem.acquire()
+        assert a.triggered and b.triggered
+        assert sem.in_flight == 2
+
+    def test_excess_acquires_queue(self):
+        env = Environment()
+        sem = Semaphore(env, 1)
+        first = sem.acquire()
+        second = sem.acquire()
+        assert first.triggered and not second.triggered
+        assert sem.queue_length == 1
+        sem.release(first)
+        assert second.triggered
+        assert sem.in_flight == 1
+
+    def test_release_unheld_slot_rejected(self):
+        env = Environment()
+        sem = Semaphore(env, 1)
+        with pytest.raises(SimulationError):
+            sem.release(env.event())
+
+    def test_high_water_tracks_peak(self):
+        env = Environment()
+        sem = Semaphore(env, 3)
+        slots = [sem.acquire() for _ in range(3)]
+        for s in slots:
+            sem.release(s)
+        assert sem.high_water == 3
+        assert sem.in_flight == 0
+
+    def test_abandon_queued_request_never_granted(self):
+        env = Environment()
+        sem = Semaphore(env, 1)
+        held = sem.acquire()
+        queued = sem.acquire()
+        third = sem.acquire()
+        sem.abandon(queued)  # withdraw while waiting
+        sem.release(held)
+        # The grant skips the withdrawn request and goes to the third.
+        assert third.triggered
+        assert not queued.triggered
+
+    def test_abandon_held_slot_releases_it(self):
+        env = Environment()
+        sem = Semaphore(env, 1)
+        held = sem.acquire()
+        waiting = sem.acquire()
+        sem.abandon(held)
+        assert waiting.triggered
+
+
+class TestFanOut:
+    def test_results_in_input_order(self):
+        env = Environment()
+        # Reverse delays: later inputs finish first.
+        gens = [task(env, delay, i) for i, delay in enumerate([3, 2, 1])]
+
+        def driver():
+            out = yield from fan_out(env, gens, limit=3)
+            return out
+
+        assert run_sync(env, driver()) == [0, 1, 2]
+
+    def test_empty_input(self):
+        env = Environment()
+
+        def driver():
+            out = yield from fan_out(env, [], limit=4)
+            return out
+
+        assert run_sync(env, driver()) == []
+
+    def test_limit_must_be_positive(self):
+        env = Environment()
+
+        def driver():
+            yield from fan_out(env, [task(env, 1, 0)], limit=0)
+
+        with pytest.raises(SimulationError):
+            run_sync(env, driver())
+
+    def test_limit_bounds_concurrency(self):
+        env = Environment()
+        log = []
+        gens = [task(env, 1.0, i, log) for i in range(6)]
+
+        def driver():
+            yield from fan_out(env, gens, limit=2)
+
+        run_sync(env, driver())
+        # With 6 unit tasks at limit 2, the gather takes 3 time units
+        # and at most 2 tasks are ever between start and end.
+        assert env.now == pytest.approx(3.0)
+        running = 0
+        peak = 0
+        for kind, _, _ in sorted(log, key=lambda e: e[2]):
+            running += 1 if kind == "start" else -1
+            peak = max(peak, running)
+        assert peak <= 2
+
+    def test_limit_one_is_serial(self):
+        env = Environment()
+        gens = [task(env, 1.0, i) for i in range(4)]
+
+        def driver():
+            out = yield from fan_out(env, gens, limit=1)
+            return out
+
+        assert run_sync(env, driver()) == [0, 1, 2, 3]
+        assert env.now == pytest.approx(4.0)
+
+    def test_watermark_reports_in_flight(self):
+        env = Environment()
+        seen = []
+        gens = [task(env, 1.0, i) for i in range(5)]
+
+        def driver():
+            yield from fan_out(env, gens, limit=3, watermark=seen.append)
+
+        run_sync(env, driver())
+        assert max(seen) == 3
+
+    def test_first_failure_propagates(self):
+        env = Environment()
+
+        def boom(env):
+            yield env.timeout(1)
+            raise ValueError("boom")
+
+        gens = [task(env, 0.5, 0), boom(env), task(env, 5.0, 2)]
+
+        def driver():
+            yield from fan_out(env, gens, limit=3)
+
+        with pytest.raises(ValueError, match="boom"):
+            run_sync(env, driver())
+
+    def test_failure_interrupts_running_workers(self):
+        env = Environment()
+        witness = []
+
+        def slow(env):
+            try:
+                yield env.timeout(100)
+                witness.append(("finished", env.now))
+            except InterruptError:
+                witness.append(("interrupted", env.now))
+                raise
+
+        def boom(env):
+            yield env.timeout(1)
+            raise ValueError("boom")
+
+        def driver():
+            try:
+                yield from fan_out(env, [slow(env), boom(env)], limit=2)
+            except ValueError:
+                pass
+
+        run_sync(env, driver())
+        env.run()  # drain everything (incl. the orphaned 100s timer)
+        # The slow worker was cut down at the failure instant, not at 100.
+        assert [(k, t) for k, t in witness] == [("interrupted", 1.0)]
+
+    # Regression (satellite): cancelling a fan-out mid-flight must
+    # release every semaphore slot and leak no workers — the same
+    # guarantee the prefetch pipeline's cancellation gives.
+    def test_interrupting_gather_cancels_workers_and_slots(self):
+        env = Environment()
+        state = {"started": 0, "interrupted": 0, "finished": 0}
+
+        def slow(env):
+            state["started"] += 1
+            try:
+                yield env.timeout(100)
+                state["finished"] += 1
+            except InterruptError:
+                state["interrupted"] += 1
+                raise
+
+        def driver():
+            try:
+                yield from fan_out(env, [slow(env) for _ in range(4)], limit=2)
+            except InterruptError:
+                return "cancelled"
+            return "finished"
+
+        def canceller(target):
+            yield env.timeout(1)
+            target.interrupt("stop")
+
+        gather = env.process(driver())
+        env.process(canceller(gather))
+        env.run()
+        assert gather.value == "cancelled"
+        # Two workers were running (limit=2) and got interrupted; the
+        # two queued ones were withdrawn before ever starting — every
+        # slot came back, no worker leaked past the cancellation.
+        assert state == {"started": 2, "interrupted": 2, "finished": 0}
+
+    def test_queued_workers_reuse_freed_slots_after_failure(self):
+        # After a failure aborts the gather, a fresh fan_out on a new
+        # semaphore still works (no global state).
+        env = Environment()
+
+        def boom(env):
+            yield env.timeout(1)
+            raise RuntimeError("x")
+
+        def driver():
+            try:
+                yield from fan_out(env, [boom(env)], limit=1)
+            except RuntimeError:
+                pass
+            out = yield from fan_out(
+                env, [task(env, 1, "ok")], limit=1
+            )
+            return out
+
+        assert run_sync(env, driver()) == ["ok"]

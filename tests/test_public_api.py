@@ -65,7 +65,7 @@ def test_experiment_registry_covers_every_artifact():
     assert set(ALL_EXPERIMENTS) == {
         "table2", "fig6", "fig9", "fig10a", "fig10b", "fig10c",
         "fig11a", "fig11b", "fig12", "fig13", "fig14", "fig15",
-        "prefetch",
+        "prefetch", "ingest", "fanout",
     }
 
 

@@ -89,3 +89,27 @@ class TestRing:
         keys = [f"k{i}" for i in range(100)]
         parts = ring.partition(keys)
         assert sorted(sum(parts.values(), [])) == sorted(keys)
+
+    def test_partition_deterministic_and_order_preserving(self):
+        """Fan-out layers partition a chunk list per owner; the result
+        must be reproducible and keep each owner's keys in input order."""
+        ring = ConsistentHashRing(["a", "b", "c"], replicas=64)
+        keys = [f"chunk-{i:04d}" for i in range(200)]
+        first = ring.partition(keys)
+        second = ring.partition(keys)
+        assert first == second
+        assert set(first) == {"a", "b", "c"}  # every node listed, even if empty
+        for node, owned in first.items():
+            assert owned == [k for k in keys if ring.lookup(k) == node]
+
+    def test_partition_after_remove_only_moves_lost_keys(self):
+        ring = ConsistentHashRing([f"n{i}" for i in range(6)], replicas=128)
+        keys = [f"img/{i}.jpg" for i in range(1000)]
+        before = ring.partition(keys)
+        ring.remove("n2")
+        after = ring.partition(keys)
+        assert "n2" not in after
+        for node in after:
+            # Surviving nodes keep everything they had (plus adoptees).
+            assert set(before[node]) <= set(after[node])
+        assert sorted(sum(after.values(), [])) == sorted(keys)
