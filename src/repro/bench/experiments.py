@@ -1392,6 +1392,106 @@ def fanout_scatter_gather(
     return result
 
 
+def latency_breakdown(
+    n_files: int = 384,
+    file_size: int = 128 * KB,
+    group_size: int = 4,
+    prefetch_depth: int = 4,
+    read_fanout: int = 4,
+    batch: int = 32,
+    compute_per_file_s: float = 5e-5,
+) -> ExperimentResult:
+    """Per-layer read latency: where DL_get time goes, with percentiles.
+
+    Attaches an :class:`repro.obs.SpanRecorder` to one client and the
+    DIESEL servers, then drives the two read paths the observability
+    layer was built to explain: a chunk-wise-shuffled epoch of single
+    ``get`` calls (prefetch pipeline active, so most files resolve in
+    the local group cache) followed by a batched ``get_many`` over a
+    strided sample (scatter-gather fan-out).  The row merges the plain
+    client counters with the recorder's flattened per-(op, layer)
+    histogram — ``read_<layer>_count`` resolution counts and
+    ``get_<layer>_p50_ms`` / ``get_<layer>_p99_ms`` percentiles — via
+    the same :func:`~repro.bench.reporting.stats_row` seam every other
+    experiment uses.  docs/OBSERVABILITY.md walks through reading the
+    output.
+    """
+    from repro.bench.reporting import stats_row
+    from repro.obs import SpanRecorder
+
+    result = ExperimentResult(
+        "per-layer read latency", "§4 / Fig 4 read chain"
+    )
+    files = {
+        f"/lat/f{i:05d}.jpg": b"\x55" * file_size for i in range(n_files)
+    }
+    with timer(result):
+        tb = make_testbed(n_compute=1)
+        add_diesel(tb, n_servers=2)
+        bulk_load_diesel(tb, "lat", files, chunk_size=4 * MB)
+        reader = diesel_client_with_snapshot(
+            tb, "lat", tb.compute_nodes[0], "reader",
+            config=DieselConfig(
+                shuffle_group_size=group_size,
+                prefetch_depth=prefetch_depth,
+                read_fanout=read_fanout,
+            ),
+        )
+        recorder = SpanRecorder.attach(reader, *tb.diesel_servers)
+        reader.enable_shuffle()
+        plan = reader.epoch_file_list(seed=11)
+
+        def job():
+            # Epoch of single gets: the per-file path (group cache vs
+            # demand fetch), paced like a training loop so the prefetch
+            # pipeline has compute time to hide transfers behind.
+            for path in plan.files:
+                yield from reader.get(path)
+                yield tb.env.timeout(compute_per_file_s)
+            # Batched path: one scatter-gather get_many over a strided
+            # sample (mostly resident by now => group-cache resolutions).
+            stride = max(1, len(plan.files) // batch)
+            sample = plan.files[::stride][:batch]
+            got = yield from reader.get_many(sample)
+            return len(got)
+
+        t0 = tb.env.now
+        batched = tb.run(job())
+        elapsed = tb.env.now - t0
+        assert batched == batch
+        layer_keys = [
+            k for k in recorder.to_dict()
+            if k.startswith(("read_", "get_", "prefetch_"))
+        ]
+        result.add(
+            files=len(plan.files),
+            elapsed_s=elapsed,
+            **stats_row(reader.stats, ["local_hits", "server_reads"],
+                        prefix="rd_"),
+            **stats_row(recorder, layer_keys),
+        )
+        row = result.rows[-1]
+        total = row["read_group_cache_count"] + row["read_server_count"]
+        result.note(
+            f"read resolution: {row['read_group_cache_count']}/{total} "
+            "group_cache (prefetched or resident), "
+            f"{row['read_server_count']}/{total} server (demand chunk "
+            "fetch)"
+        )
+        result.note(
+            "get p50/p99 by layer (ms): "
+            f"group_cache {row['get_group_cache_p50_ms']:.3f}/"
+            f"{row['get_group_cache_p99_ms']:.3f}, "
+            f"server {row['get_server_p50_ms']:.3f}/"
+            f"{row['get_server_p99_ms']:.3f}"
+        )
+        result.note(
+            "full per-(op, layer) table: recorder.summary(); "
+            "timeline: `dlcmd trace` -> chrome://tracing"
+        )
+    return result
+
+
 #: Registry used by the CLI-style runner and the EXPERIMENTS.md generator.
 ALL_EXPERIMENTS = {
     "table2": table2_read_bandwidth,
@@ -1409,4 +1509,5 @@ ALL_EXPERIMENTS = {
     "prefetch": prefetch_pipeline,
     "ingest": ingest_pipeline,
     "fanout": fanout_scatter_gather,
+    "latency": latency_breakdown,
 }

@@ -1,4 +1,18 @@
-"""Plain-text table rendering and paper-vs-measured shape checks."""
+"""Experiment reporting: tables, JSON artifacts, and the stats seam.
+
+Everything an experiment emits goes through this module:
+
+* :func:`format_table` / :func:`format_result` — aligned plain-text
+  tables for the runner's stdout;
+* :func:`result_to_dict` / :func:`write_json` — the machine-readable
+  ``BENCH_<id>.json`` artifacts;
+* :func:`stats_row` — the one sanctioned path from a stats object
+  (``ClientStats`` / ``ServerStats`` / ``CacheMasterStats`` / an
+  ``obs.SpanRecorder``) into experiment rows.  Anything exposing
+  ``to_dict()`` works, so per-layer latency columns from a recorder
+  merge into the same row as plain counters;
+* :func:`shape_check` / :func:`ratio` — paper-vs-measured verdicts.
+"""
 
 from __future__ import annotations
 
@@ -83,9 +97,13 @@ def stats_row(
     """Select counters from a stats object's ``to_dict()`` as table cells.
 
     The one sanctioned path from ``ClientStats`` / ``ServerStats`` /
-    ``CacheMasterStats`` into experiment rows — no ad-hoc attribute
-    plucking.  ``keys=None`` takes every counter; ``prefix`` namespaces
-    the columns (e.g. ``"srv_"``).
+    ``CacheMasterStats`` — or an :class:`repro.obs.SpanRecorder`, whose
+    ``to_dict()`` flattens per-(op, layer) latency percentiles — into
+    experiment rows; no ad-hoc attribute plucking.  Since every stats
+    class derives ``to_dict()`` from its dataclass fields, a counter
+    added to a stats class automatically appears here.  ``keys=None``
+    takes every counter; ``prefix`` namespaces the columns (e.g.
+    ``"srv_"``).
     """
     counters = stats.to_dict()
     if keys is None:

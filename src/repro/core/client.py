@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import random
 from collections import OrderedDict
+from dataclasses import dataclass, fields
 from typing import Any, Dict, Generator, Optional, Sequence
 
 from repro.calibration import Calibration, DEFAULT
@@ -73,41 +74,39 @@ def connect(
     )
 
 
+@dataclass(slots=True)
 class ClientStats:
-    __slots__ = (
-        "puts", "gets", "local_hits", "cache_hits", "server_reads",
-        "chunks_sent", "bytes_written", "bytes_read",
-        "batched_gets", "prefetch_issued", "prefetch_hits",
-        "prefetch_misses", "prefetch_wasted",
-        "ingest_inflight_hwm", "fetch_inflight_hwm",
-    )
+    """Cumulative libDIESEL counters (the bench-reporting seam)."""
 
-    def __init__(self) -> None:
-        self.puts = 0
-        self.gets = 0
-        self.local_hits = 0
-        self.cache_hits = 0
-        self.server_reads = 0
-        self.chunks_sent = 0
-        self.bytes_written = 0
-        self.bytes_read = 0
-        #: get_many() batches resolved (however many files each).
-        self.batched_gets = 0
-        #: Pipelined-prefetch accounting (see repro.core.prefetch).
-        self.prefetch_issued = 0
-        self.prefetch_hits = 0
-        self.prefetch_misses = 0
-        self.prefetch_wasted = 0
-        #: Scatter-gather high-water marks: the most chunk sends /
-        #: chunk+file fetches ever concurrently in flight.  Stay 0/1
-        #: with the fan-out knobs at their serial defaults — the proof
-        #: that the knobs really change overlap and nothing else.
-        self.ingest_inflight_hwm = 0
-        self.fetch_inflight_hwm = 0
+    puts: int = 0
+    gets: int = 0
+    local_hits: int = 0
+    cache_hits: int = 0
+    server_reads: int = 0
+    chunks_sent: int = 0
+    bytes_written: int = 0
+    bytes_read: int = 0
+    #: get_many() batches resolved (however many files each).
+    batched_gets: int = 0
+    #: Pipelined-prefetch accounting (see repro.core.prefetch).
+    prefetch_issued: int = 0
+    prefetch_hits: int = 0
+    prefetch_misses: int = 0
+    prefetch_wasted: int = 0
+    #: Scatter-gather high-water marks: the most chunk sends /
+    #: chunk+file fetches ever concurrently in flight.  Stay 0/1
+    #: with the fan-out knobs at their serial defaults — the proof
+    #: that the knobs really change overlap and nothing else.
+    ingest_inflight_hwm: int = 0
+    fetch_inflight_hwm: int = 0
 
     def to_dict(self) -> Dict[str, int]:
-        """All counters as ``{name: value}`` (the bench-reporting seam)."""
-        return {name: getattr(self, name) for name in self.__slots__}
+        """All counters as ``{name: value}`` (the bench-reporting seam).
+
+        Derived from the dataclass fields, so a newly added counter can
+        never silently drop out of benchmark rows.
+        """
+        return {f.name: getattr(self, f.name) for f in fields(self)}
 
 
 class DieselClient:
@@ -135,6 +134,10 @@ class DieselClient:
         self.config = config or DieselConfig()
         self.cal = calibration
         self.stats = ClientStats()
+        #: Attached observability recorder (``repro.obs.SpanRecorder``);
+        #: None keeps every instrumentation site a single failed
+        #: ``is not None`` check — the hot path allocates nothing.
+        self.recorder = None
         self._rr = 0
         self._closed = False
         self._builder = ChunkBuilder(
@@ -201,6 +204,8 @@ class DieselClient:
     def put(self, path: str, data: bytes) -> Generator[Event, Any, None]:
         """DL_put: buffer a file; ship a chunk when ≥ chunk_size accrues."""
         self._check_open()
+        rec = self.recorder
+        t0 = self.env.now if rec is not None else 0.0
         sealed = self._builder.add(path, data)
         self.stats.puts += 1
         self.stats.bytes_written += len(data)
@@ -211,11 +216,18 @@ class DieselClient:
         )
         if sealed is not None:
             yield from self._dispatch_chunk(sealed)
+        if rec is not None:
+            # "pack" puts only buffered; "ship" puts sealed a chunk and
+            # (synchronously or via the pipeline) dispatched it.
+            rec.record("put", "pack" if sealed is None else "ship",
+                       self.env.now - t0, actor=self.name, path=path)
 
     def flush(self) -> Generator[Event, Any, None]:
         """DL_flush: seal and ship whatever is buffered; wait for every
         pipelined send still in flight."""
         self._check_open()
+        rec = self.recorder
+        t0 = self.env.now if rec is not None else 0.0
         sealed = self._builder.flush()
         if sealed is not None:
             yield from self._dispatch_chunk(sealed)
@@ -223,6 +235,8 @@ class DieselClient:
             yield self.env.timeout(0)
         if self._ingest is not None:
             yield from self._ingest.drain()
+        if rec is not None:
+            rec.record("flush", "drain", self.env.now - t0, actor=self.name)
 
     def put_many(
         self, items: Sequence[tuple[str, bytes]]
@@ -233,10 +247,16 @@ class DieselClient:
         packing of later files (§4.1.1 write overlap); the final flush
         waits for every send.  Returns the number of chunks shipped.
         """
+        rec = self.recorder
+        t0 = self.env.now if rec is not None else 0.0
         before = self.stats.chunks_sent
         for path, data in items:
             yield from self.put(path, data)
         yield from self.flush()
+        if rec is not None:
+            rec.record("put_many", "total", self.env.now - t0,
+                       actor=self.name, files=len(items),
+                       chunks=self.stats.chunks_sent - before)
         return self.stats.chunks_sent - before
 
     def _note_ingest_inflight(self, n: int) -> None:
@@ -263,6 +283,8 @@ class DieselClient:
         yield from self._ingest.submit(chunk)
 
     def _send_chunk(self, chunk: Chunk) -> Generator[Event, Any, None]:
+        rec = self.recorder
+        t0 = self.env.now if rec is not None else 0.0
         blob = chunk.encode()
         yield from self._server().call(
             self.node,
@@ -273,6 +295,9 @@ class DieselClient:
             response_bytes=32,
         )
         self.stats.chunks_sent += 1
+        if rec is not None:
+            rec.record("chunk_send", "server", self.env.now - t0,
+                       actor=self.name, bytes=len(blob))
 
     # -------------------------------------------------------------- DL_get
     def _record_for(self, path: str) -> Optional[FileRecord]:
@@ -285,12 +310,24 @@ class DieselClient:
         self._check_open()
         path = normalize(path)
         self.stats.gets += 1
+        rec = self.recorder
+        t0 = self.env.now if rec is not None else 0.0
         yield self.env.timeout(self.cal.diesel.api_read_overhead_s)
         record = self._record_for(path)
         # 1. Chunk-wise-shuffle working set (client-local memory).
         if record is not None and self._shuffle_enabled:
+            if rec is not None:
+                layer = (
+                    "group_cache"
+                    if record.chunk_id.encode() in self._group_cache
+                    else "server"
+                )
             payload = yield from self._get_via_group_cache(record)
             self.stats.bytes_read += len(payload)
+            if rec is not None:
+                rec.record("get", layer, self.env.now - t0,
+                           actor=self.name, path=path)
+                rec.count("read", layer)
             return payload
         # 2. Task-grained distributed cache (one-hop peer fetch).
         if record is not None and self._cache is not None:
@@ -299,6 +336,14 @@ class DieselClient:
             )
             self.stats.cache_hits += 1
             self.stats.bytes_read += len(payload)
+            if rec is not None:
+                # Exact attribution (cache hit vs server fall-through)
+                # requires the recorder to be attached to the TaskCache
+                # as well; it publishes which layer served the read.
+                layer = getattr(self._cache, "last_resolution", "task_cache")
+                rec.record("get", layer, self.env.now - t0,
+                           actor=self.name, path=path)
+                rec.count("read", layer)
             return payload
         # 3. DIESEL server.
         payload = yield from self._server().call(
@@ -310,6 +355,10 @@ class DieselClient:
         )
         self.stats.server_reads += 1
         self.stats.bytes_read += len(payload)
+        if rec is not None:
+            rec.record("get", "server", self.env.now - t0,
+                       actor=self.name, path=path)
+            rec.count("read", "server")
         return payload
 
     def get_many(
@@ -327,6 +376,8 @@ class DieselClient:
         self._check_open()
         paths = [normalize(p) for p in paths]
         self.stats.gets += len(paths)
+        rec = self.recorder
+        t0 = self.env.now if rec is not None else 0.0
         yield self.env.timeout(self.cal.diesel.api_read_overhead_s)
         out: Dict[str, bytes] = {}
         remote: list[str] = []
@@ -356,10 +407,20 @@ class DieselClient:
                         chunk = self._group_cache[encoded]
                         self._group_cache.move_to_end(encoded)
                         self.stats.local_hits += len(records)
+                        if rec is not None:
+                            rec.count("read", "group_cache", len(records))
                         yield self.env.timeout(2e-7 * len(records))
                     else:
                         chunk = yield from self._ensure_chunk(encoded)
                         self.stats.local_hits += len(records) - 1
+                        if rec is not None:
+                            # One file pays the chunk fetch; the rest of
+                            # the chunk's files read locally.
+                            rec.count("read", "server")
+                            if len(records) > 1:
+                                rec.count(
+                                    "read", "group_cache", len(records) - 1
+                                )
                     resolved[encoded] = chunk
             for encoded, records in by_chunk.items():
                 chunk = resolved[encoded]
@@ -400,6 +461,8 @@ class DieselClient:
                     self.stats.cache_hits += 1
                     out[record.path] = payload
                     self.stats.bytes_read += len(payload)
+            if rec is not None and records:
+                rec.count("read", "task_cache", len(records))
         else:
             remote = list(paths)
         if remote:
@@ -419,7 +482,12 @@ class DieselClient:
             for path, payload in got.items():
                 out[path] = payload
                 self.stats.bytes_read += len(payload)
+            if rec is not None:
+                rec.count("read", "server", len(got))
         self.stats.batched_gets += 1
+        if rec is not None:
+            rec.record("get_many", "total", self.env.now - t0,
+                       actor=self.name, files=len(paths))
         return out
 
     def _resolve_groups_fanout(
@@ -432,6 +500,7 @@ class DieselClient:
         flight.  Single-flight still holds — concurrent batches and the
         prefetcher share ``_inflight``, so no chunk moves twice.
         """
+        rec = self.recorder
         resolved: Dict[str, Chunk] = {}
         missing: list[str] = []
         for encoded, records in by_chunk.items():
@@ -445,10 +514,16 @@ class DieselClient:
                 chunk = self._group_cache[encoded]
                 self._group_cache.move_to_end(encoded)
                 self.stats.local_hits += len(records)
+                if rec is not None:
+                    rec.count("read", "group_cache", len(records))
                 yield self.env.timeout(2e-7 * len(records))
                 resolved[encoded] = chunk
             else:
                 self.stats.local_hits += len(records) - 1
+                if rec is not None:
+                    rec.count("read", "server")
+                    if len(records) > 1:
+                        rec.count("read", "group_cache", len(records) - 1)
                 missing.append(encoded)
         if missing:
             chunks = yield from fan_out(
@@ -563,6 +638,8 @@ class DieselClient:
             done = self.env.event()
             self._inflight[encoded] = done
             self._note_fetch_inflight(len(self._inflight))
+            rec = self.recorder
+            t0 = self.env.now if rec is not None else 0.0
             # Scattered fetches use stable placement; the serial default
             # keeps the legacy round-robin pick (identical behavior).
             server = (
@@ -584,6 +661,9 @@ class DieselClient:
             finally:
                 del self._inflight[encoded]
                 done.succeed()
+            if rec is not None:
+                rec.record("chunk_fetch", "server", self.env.now - t0,
+                           actor=self.name, chunk=encoded[:12])
             return chunk
 
     def _get_via_group_cache(
@@ -620,19 +700,37 @@ class DieselClient:
     def stat(self, path: str) -> Generator[Event, Any, dict]:
         """DL_stat: O(1) from the snapshot when loaded, else a server RPC."""
         self._check_open()
+        rec = self.recorder
+        t0 = self.env.now if rec is not None else 0.0
         if self._index is not None:
             yield self.env.timeout(self.cal.diesel.client_meta_lookup_s)
-            return self._index.stat(path)
+            result = self._index.stat(path)
+            if rec is not None:
+                rec.record("stat", "snapshot", self.env.now - t0,
+                           actor=self.name, path=path)
+            return result
         result = yield from self._server().call(self.node, "stat", self.dataset, path)
+        if rec is not None:
+            rec.record("stat", "server", self.env.now - t0,
+                       actor=self.name, path=path)
         return result
 
     def ls(self, path: str = "/") -> Generator[Event, Any, list[str]]:
         """DL_ls: list files and folders under ``path``."""
         self._check_open()
+        rec = self.recorder
+        t0 = self.env.now if rec is not None else 0.0
         if self._index is not None:
             yield self.env.timeout(self.cal.diesel.client_meta_lookup_s)
-            return self._index.readdir(path)
+            result = self._index.readdir(path)
+            if rec is not None:
+                rec.record("ls", "snapshot", self.env.now - t0,
+                           actor=self.name, path=path)
+            return result
         result = yield from self._server().call(self.node, "ls", self.dataset, path)
+        if rec is not None:
+            rec.record("ls", "server", self.env.now - t0,
+                       actor=self.name, path=path)
         return result
 
     def save_meta(self) -> Generator[Event, Any, bytes]:

@@ -22,7 +22,7 @@ Each DLT task caches *its own* dataset across *its own* worker nodes:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Any, Dict, Generator, List, Optional, Sequence
 
 from repro.calibration import Calibration, DEFAULT
@@ -46,24 +46,24 @@ class CacheClient:
     rank: int
 
 
+@dataclass(slots=True)
 class CacheMasterStats:
-    __slots__ = ("hits", "misses", "chunks_loaded", "bytes_cached",
-                 "skipped_no_memory", "pull_inflight_hwm")
+    """Per-master cache counters (the bench-reporting seam)."""
 
-    def __init__(self) -> None:
-        self.hits = 0
-        self.misses = 0
-        self.chunks_loaded = 0
-        self.bytes_cached = 0
-        #: Chunks left uncached because the node's memory budget ran out.
-        self.skipped_no_memory = 0
-        #: Most chunk pulls ever concurrently in flight on this master
-        #: (stays 0/1 with ``warmup_fanout`` at its serial default).
-        self.pull_inflight_hwm = 0
+    hits: int = 0
+    misses: int = 0
+    chunks_loaded: int = 0
+    bytes_cached: int = 0
+    #: Chunks left uncached because the node's memory budget ran out.
+    skipped_no_memory: int = 0
+    #: Most chunk pulls ever concurrently in flight on this master
+    #: (stays 0/1 with ``warmup_fanout`` at its serial default).
+    pull_inflight_hwm: int = 0
 
     def to_dict(self) -> Dict[str, int]:
-        """All counters as ``{name: value}`` (the bench-reporting seam)."""
-        return {name: getattr(self, name) for name in self.__slots__}
+        """All counters as ``{name: value}``, derived from the dataclass
+        fields so a new counter can never silently drop out of rows."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
 
 
 class CacheMaster:
@@ -88,6 +88,8 @@ class CacheMaster:
         self._chunks: Dict[str, Chunk] = {}
         self._chunk_bytes: Dict[str, int] = {}
         self.stats = CacheMasterStats()
+        #: Attached observability recorder (propagated by TaskCache).
+        self.recorder = None
         self.endpoint = RpcEndpoint(
             env,
             fabric,
@@ -171,6 +173,8 @@ class CacheMaster:
         Returns the number of chunks actually cached (memory-skipped
         chunks do not count).
         """
+        rec = self.recorder
+        t0 = self.env.now if rec is not None else 0.0
         if fanout <= 1:
             loaded = 0
             for encoded_cid in self.assigned:
@@ -178,15 +182,19 @@ class CacheMaster:
                     break
                 cached = yield from self._pull_chunk(encoded_cid)
                 loaded += bool(cached)
-            return loaded
-        results = yield from fan_out(
-            self.env,
-            [self._pull_one(cid) for cid in self.assigned],
-            fanout,
-            name=f"warm:{self.client.name}",
-            watermark=self._note_pull_inflight,
-        )
-        return sum(bool(r) for r in results)
+        else:
+            results = yield from fan_out(
+                self.env,
+                [self._pull_one(cid) for cid in self.assigned],
+                fanout,
+                name=f"warm:{self.client.name}",
+                watermark=self._note_pull_inflight,
+            )
+            loaded = sum(bool(r) for r in results)
+        if rec is not None:
+            rec.record("warmup", "master", self.env.now - t0,
+                       actor=self.client.name, chunks=loaded)
+        return loaded
 
     def reload_missing(self, fanout: int = 1) -> Generator[Event, Any, int]:
         """Recovery: pull every assigned chunk not yet resident.
@@ -194,21 +202,27 @@ class CacheMaster:
         Same bounded fan-out discipline as :meth:`prefetch_all`; returns
         the number of chunks actually cached.
         """
+        rec = self.recorder
+        t0 = self.env.now if rec is not None else 0.0
         missing = [cid for cid in self.assigned if not self.has_chunk(cid)]
         if fanout <= 1:
             reloaded = 0
             for encoded_cid in missing:
                 cached = yield from self._pull_chunk(encoded_cid)
                 reloaded += bool(cached)
-            return reloaded
-        results = yield from fan_out(
-            self.env,
-            [self._pull_one(cid) for cid in missing],
-            fanout,
-            name=f"recover:{self.client.name}",
-            watermark=self._note_pull_inflight,
-        )
-        return sum(bool(r) for r in results)
+        else:
+            results = yield from fan_out(
+                self.env,
+                [self._pull_one(cid) for cid in missing],
+                fanout,
+                name=f"recover:{self.client.name}",
+                watermark=self._note_pull_inflight,
+            )
+            reloaded = sum(bool(r) for r in results)
+        if rec is not None:
+            rec.record("recover", "master", self.env.now - t0,
+                       actor=self.client.name, chunks=reloaded)
+        return reloaded
 
     def drop_all(self) -> None:
         """Release all cached chunks and return their memory."""
@@ -260,6 +274,24 @@ class TaskCache:
         self._owner_of: Dict[str, CacheMaster] = {}  # encoded cid -> master
         self._registered = False
         self._prefetch_procs: list = []
+        self._recorder = None
+        #: Which layer served the most recent read_file — published for
+        #: the client's span attribution (only updated while a recorder
+        #: is attached, so the bare hot path stays untouched).
+        self.last_resolution = "task_cache"
+
+    @property
+    def recorder(self):
+        """Attached observability recorder (None = disabled)."""
+        return self._recorder
+
+    @recorder.setter
+    def recorder(self, value) -> None:
+        """Propagate the recorder to every cache master and its endpoint."""
+        self._recorder = value
+        for m in self.masters.values():
+            m.recorder = value
+            m.endpoint.recorder = value
 
     # ------------------------------------------------------------ lifecycle
     def register(self) -> Generator[Event, Any, dict]:
@@ -284,9 +316,13 @@ class TaskCache:
                 by_node[c.node.name] = c
         for node_name in sorted(by_node):
             elected = by_node[node_name]
-            self.masters[node_name] = CacheMaster(
+            master = CacheMaster(
                 self.env, self.fabric, elected, self.server, self.dataset, self.cal
             )
+            if self._recorder is not None:
+                master.recorder = self._recorder
+                master.endpoint.recorder = self._recorder
+            self.masters[node_name] = master
         # Deterministic chunk partitioning: round-robin over sorted masters.
         master_list = [self.masters[k] for k in sorted(self.masters)]
         for i, encoded_cid in enumerate(summary["chunk_ids"]):
@@ -357,6 +393,8 @@ class TaskCache:
         """
         if not self._registered:
             raise DieselError("task cache not registered")
+        rec = self._recorder
+        t0 = self.env.now if rec is not None else 0.0
         encoded_cid = record.chunk_id.encode()
         master = self.owner_of(encoded_cid)
         if master.up:
@@ -368,6 +406,11 @@ class TaskCache:
                 response_bytes=record.length,
             )
             if payload is not None:
+                if rec is not None:
+                    self.last_resolution = "task_cache"
+                    rec.record("cache_read", "task_cache",
+                               self.env.now - t0, actor=client.name,
+                               path=record.path)
                 return payload
             if self.policy == "on-demand" and master.up:
                 # Kick a background chunk pull; don't wait for it.
@@ -384,6 +427,10 @@ class TaskCache:
             record.path,
             response_bytes=record.length,
         )
+        if rec is not None:
+            self.last_resolution = "server"
+            rec.record("cache_read", "server", self.env.now - t0,
+                       actor=client.name, path=record.path)
         return payload
 
     # -------------------------------------------------------------- recovery
@@ -421,6 +468,8 @@ class TaskCache:
             owner = survivors[i % len(survivors)]
             owner.assigned.append(encoded_cid)
             self._owner_of[encoded_cid] = owner
+        rec = self._recorder
+        t0 = self.env.now if rec is not None else 0.0
         if limit <= 1:
             # Legacy serial re-stream: survivor after survivor.
             reloaded = 0
@@ -429,11 +478,15 @@ class TaskCache:
                     if not m.has_chunk(encoded_cid):
                         cached = yield from m._pull_chunk(encoded_cid)
                         reloaded += bool(cached)
-            return reloaded
-        per_master = yield from fan_out(
-            self.env,
-            [m.reload_missing(limit) for m in survivors],
-            len(survivors),
-            name="recover",
-        )
-        return sum(per_master)
+        else:
+            per_master = yield from fan_out(
+                self.env,
+                [m.reload_missing(limit) for m in survivors],
+                len(survivors),
+                name="recover",
+            )
+            reloaded = sum(per_master)
+        if rec is not None:
+            rec.record("recover", "total", self.env.now - t0,
+                       chunks=reloaded, survivors=len(survivors))
+        return reloaded

@@ -70,6 +70,9 @@ class ChunkPrefetcher:
         self._schedule = order
         self._scheduled = seen
         self._next = 0  # next schedule index to issue
+        #: Issue timestamps for the issue→consume lead-time histogram
+        #: (only populated while a recorder is attached to the client).
+        self._issue_ts: Dict[str, float] = {}
         #: Issued but not yet consumed (bounds the pipeline window).
         self._outstanding: Set[str] = set()
         self._consumed: Set[str] = set()
@@ -115,6 +118,8 @@ class ChunkPrefetcher:
                 continue  # demand path beat us to it
             self._outstanding.add(encoded)
             self.client.stats.prefetch_issued += 1
+            if self.client.recorder is not None:
+                self._issue_ts[encoded] = self.env.now
             self._procs[encoded] = self.env.process(
                 self._fetch(encoded), name=f"prefetch:{encoded[:8]}"
             )
@@ -166,6 +171,15 @@ class ChunkPrefetcher:
         self._consumed.add(encoded)
         if encoded in self._outstanding:
             self._outstanding.discard(encoded)
+            rec = self.client.recorder
+            if rec is not None:
+                ts = self._issue_ts.pop(encoded, None)
+                if ts is not None:
+                    # Issue→consume lead: how far ahead of the consumer
+                    # the pipeline ran for this chunk.
+                    rec.record("prefetch", "lead", self.env.now - ts,
+                               actor=self.client.name, chunk=encoded[:12],
+                               hit=bool(resident or in_flight))
             if resident or in_flight:
                 self.client.stats.prefetch_hits += 1
             else:
@@ -183,6 +197,9 @@ class ChunkPrefetcher:
         if encoded in self._outstanding:
             self._outstanding.discard(encoded)
             self.client.stats.prefetch_wasted += 1
+            if self.client.recorder is not None:
+                self._issue_ts.pop(encoded, None)
+                self.client.recorder.count("prefetch", "wasted")
             self._top_up()
 
     # ------------------------------------------------------------- cancel
@@ -202,4 +219,9 @@ class ChunkPrefetcher:
                 proc.interrupt("prefetch cancelled")
         self._procs.clear()
         self.client.stats.prefetch_wasted += len(self._outstanding)
+        if self.client.recorder is not None and self._outstanding:
+            self.client.recorder.count(
+                "prefetch", "wasted", len(self._outstanding)
+            )
         self._outstanding.clear()
+        self._issue_ts.clear()

@@ -24,6 +24,7 @@ Responsibilities implemented here:
 
 from __future__ import annotations
 
+from dataclasses import dataclass, fields
 from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple, Union
 
 from repro.calibration import Calibration, DEFAULT
@@ -68,6 +69,7 @@ def parse_object_key(key: str) -> tuple[str, ChunkId]:
     return dataset, decode_chunk_id(encoded)
 
 
+@dataclass(slots=True)
 class ServerStats:
     """Data-path read counters (chunk transfers, batched reads).
 
@@ -76,26 +78,21 @@ class ServerStats:
     single-flight map eliminates duplicate chunk fetches.
     """
 
-    __slots__ = (
-        "chunk_reads", "file_reads", "range_reads",
-        "batch_reads", "batch_files", "batch_spans", "ingests",
-    )
-
-    def __init__(self) -> None:
-        self.chunk_reads = 0
-        self.file_reads = 0
-        self.range_reads = 0
-        #: get_files/read_files RPCs served.
-        self.batch_reads = 0
-        #: Files delivered through batched RPCs.
-        self.batch_files = 0
-        #: Merged chunk-wise range reads issued for batched RPCs.
-        self.batch_spans = 0
-        self.ingests = 0
+    chunk_reads: int = 0
+    file_reads: int = 0
+    range_reads: int = 0
+    #: get_files/read_files RPCs served.
+    batch_reads: int = 0
+    #: Files delivered through batched RPCs.
+    batch_files: int = 0
+    #: Merged chunk-wise range reads issued for batched RPCs.
+    batch_spans: int = 0
+    ingests: int = 0
 
     def to_dict(self) -> dict:
-        """All counters as ``{name: value}`` (the bench-reporting seam)."""
-        return {name: getattr(self, name) for name in self.__slots__}
+        """All counters as ``{name: value}``, derived from the dataclass
+        fields so a new counter can never silently drop out of rows."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
 
 
 class DieselServer:
@@ -144,11 +141,24 @@ class DieselServer:
             service_s=2e-6,  # dispatch; data time is charged by the store
             workers=workers,
         )
+        self._recorder = None
         # Logical dataset version counter (monotone per server group; shared
         # through the KV dataset record, so multiple servers stay coherent).
         self._kv_batch = 128  # records per pipelined KV round trip
         # One generator per server so purge-minted chunk IDs never collide.
         self._idgen = ChunkIdGenerator(clock=lambda: env.now)
+
+    @property
+    def recorder(self):
+        """Attached observability recorder (None = disabled)."""
+        return self._recorder
+
+    @recorder.setter
+    def recorder(self, value) -> None:
+        """Propagate the recorder to both RPC worker pools."""
+        self._recorder = value
+        self.endpoint.recorder = value
+        self.meta_endpoint.recorder = value
 
     # ------------------------------------------------------------------ RPC
     def _handle(self, method: str, *args: Any) -> Any:
@@ -273,6 +283,8 @@ class DieselServer:
         feel it).  This is how the paper writes ImageNet-1K (~150 GB)
         "within only 3 seconds" (§6.2).
         """
+        rec = self._recorder
+        t0 = self.env.now if rec is not None else 0.0
         chunk = Chunk.decode(chunk_bytes)
         key = object_key(dataset, chunk.chunk_id)
         yield self.env.timeout(
@@ -283,12 +295,20 @@ class DieselServer:
         n_pairs = self.ingest_metadata(dataset, chunk)
         yield self.env.timeout(self._kv_pipeline_cost(n_pairs))
         self.stats.ingests += 1
+        if rec is not None:
+            rec.record("ingest", "objectstore", self.env.now - t0,
+                       actor=self.name, bytes=len(chunk_bytes))
         return chunk.chunk_id.encode()
 
     def _read_range(
         self, key: str, offset: int, length: int
     ) -> Generator[Event, Any, bytes]:
+        rec = self._recorder
+        t0 = self.env.now if rec is not None else 0.0
         result = yield from self.store.get_range(key, offset, length)
+        if rec is not None:
+            rec.record("range_read", "objectstore", self.env.now - t0,
+                       actor=self.name, bytes=length)
         return result
 
     def _header_size(self, chunk_bytes_key: str) -> int:
@@ -393,9 +413,14 @@ class DieselServer:
     def _op_get_chunk(
         self, dataset: str, encoded_cid: str
     ) -> Generator[Event, Any, bytes]:
+        rec = self._recorder
+        t0 = self.env.now if rec is not None else 0.0
         key = f"{dataset}/{encoded_cid}"
         blob = yield from self.store.get(key)
         self.stats.chunk_reads += 1
+        if rec is not None:
+            rec.record("chunk_read", "objectstore", self.env.now - t0,
+                       actor=self.name, bytes=len(blob))
         return blob
 
     def _op_get_chunk_range(

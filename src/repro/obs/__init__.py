@@ -1,0 +1,31 @@
+"""Request observability: span tracing + latency histograms.
+
+The paper's argument is a latency-breakdown argument — the Fig 4 read
+chain (group cache → task-grained cache → DIESEL server → object store)
+wins because each hop it removes is measurable.  This package makes the
+breakdown first-class for the reproduction:
+
+* :class:`~repro.obs.span.Span` / :class:`~repro.obs.span.SpanRecorder`
+  — sim-clock-timed spans tagged with the layer that resolved each
+  request, zero-cost when no recorder is attached (the
+  ``sim.trace.Tracer`` attach pattern);
+* :class:`~repro.obs.histogram.Histogram` — log-bucketed latency
+  histograms with p50/p90/p99, one per (op, layer);
+* :func:`~repro.obs.export.write_chrome_trace` — span dump loadable in
+  ``chrome://tracing``; ``SpanRecorder.to_dict()`` merges into
+  ``bench.reporting.stats_row`` for experiment tables.
+
+See ``docs/OBSERVABILITY.md`` for the model and a worked example.
+"""
+
+from repro.obs.export import chrome_trace_events, write_chrome_trace
+from repro.obs.histogram import Histogram
+from repro.obs.span import Span, SpanRecorder
+
+__all__ = [
+    "Histogram",
+    "Span",
+    "SpanRecorder",
+    "chrome_trace_events",
+    "write_chrome_trace",
+]

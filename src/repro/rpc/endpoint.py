@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from dataclasses import dataclass, fields
 from typing import Any, Callable, Generator, Optional
 
 from repro.calibration import RpcProfile
@@ -12,19 +13,21 @@ from repro.sim.engine import Environment, Event
 from repro.sim.resources import Resource
 
 
+@dataclass(slots=True)
 class RpcStats:
     """Cumulative per-endpoint call counters."""
 
-    __slots__ = ("calls", "request_bytes", "response_bytes", "errors",
-                 "busy_time")
+    calls: int = 0
+    request_bytes: int = 0
+    response_bytes: int = 0
+    errors: int = 0
+    #: Total worker-seconds spent in service (for utilization).
+    busy_time: float = 0.0
 
-    def __init__(self) -> None:
-        self.calls = 0
-        self.request_bytes = 0
-        self.response_bytes = 0
-        self.errors = 0
-        #: Total worker-seconds spent in service (for utilization).
-        self.busy_time = 0.0
+    def to_dict(self) -> dict:
+        """All counters as ``{name: value}``, derived from the dataclass
+        fields so a new counter can never silently drop out of rows."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
 
 
 class RpcEndpoint:
@@ -56,6 +59,8 @@ class RpcEndpoint:
         self._pool = Resource(env, workers)
         self.profile = profile or RpcProfile()
         self.stats = RpcStats()
+        #: Attached observability recorder (None = zero-cost hot path).
+        self.recorder = None
         node.on_fail(self._on_node_fail)
         self._up = True
 
@@ -144,6 +149,7 @@ class RpcEndpoint:
         if not self.up:
             raise NodeDownError(self.node.name, f"endpoint {self.name!r} down")
         prof = self.profile
+        rec = self.recorder
         # Client-side marshalling.
         yield self.env.timeout(prof.per_call_s + request_bytes * prof.per_byte_s)
         yield from self.fabric.transfer(client, self.node, request_bytes)
@@ -151,6 +157,7 @@ class RpcEndpoint:
             raise NodeDownError(self.node.name, f"endpoint {self.name!r} down")
         # Server-side queue + service; the handler's real logic runs when
         # the worker picks the request up.
+        t_arrive = self.env.now if rec is not None else 0.0
         req = self._pool.request()
         try:
             yield req
@@ -159,6 +166,7 @@ class RpcEndpoint:
             # withdraw so the slot cannot leak.
             self._pool.abandon(req)
             raise
+        t_grant = self.env.now if rec is not None else 0.0
         try:
             try:
                 result = self._handler(method, *args)
@@ -176,6 +184,13 @@ class RpcEndpoint:
             service = self._service_time(method, resp_nbytes)
             yield self.env.timeout(service)
             self.stats.busy_time += service
+            if rec is not None:
+                # Queue = arrival to worker grant; service = worker-held
+                # time (handler-driven I/O + the calibrated CPU charge).
+                rec.record("rpc_" + method, "queue", t_grant - t_arrive,
+                           actor=self.name)
+                rec.record("rpc_" + method, "service",
+                           self.env.now - t_grant, actor=self.name)
         finally:
             self._pool.release(req)
         if not self.up:

@@ -18,8 +18,20 @@ Subcommands::
     dlcmd save-meta <local-file>                  export the snapshot
     dlcmd datasets                                list datasets
     dlcmd info                                    workspace summary
+    dlcmd stats                                   per-layer read latency
+    dlcmd trace <local-file>                      chrome://tracing dump
 
 Every data-mutating command rewrites the workspace file.
+
+The global ``--jobs`` flag sets the parallel I/O depth: chunk sends
+kept in flight during ``put`` (ingest pipeline), concurrent header
+reads on workspace open, and the batched-read fan-out used by
+``stats``/``trace``.  The two observability commands attach a
+:class:`repro.obs.SpanRecorder` to the client, server and KV shards,
+replay a sample of reads, and report where the time went — ``stats``
+as an aligned per-(op, layer) percentile table, ``trace`` as a Chrome
+trace-event file viewable in ``chrome://tracing`` (see
+docs/OBSERVABILITY.md).
 
 Run:  python -m repro.tools.dlcmd --help
 """
@@ -84,6 +96,23 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("datasets", help="list datasets in the workspace")
     sub.add_parser("info", help="workspace summary")
+
+    p = sub.add_parser(
+        "stats", help="per-(op, layer) latency percentiles for sample reads"
+    )
+    p.add_argument(
+        "-n", "--sample", type=int, default=32,
+        help="max files to read for the measurement (default: %(default)s)",
+    )
+
+    p = sub.add_parser(
+        "trace", help="write a chrome://tracing JSON of sample reads"
+    )
+    p.add_argument("dest", help="local output file (open in chrome://tracing)")
+    p.add_argument(
+        "-n", "--sample", type=int, default=32,
+        help="max files to read for the trace (default: %(default)s)",
+    )
     return parser
 
 
@@ -179,6 +208,51 @@ def cmd_info(ws: DieselWorkspace, dataset: str, args) -> str:
     return "\n".join(lines)
 
 
+def _traced_sample_reads(ws: DieselWorkspace, dataset: str, limit: int):
+    """Attach a recorder, replay a strided sample of reads, return it.
+
+    The shared measurement behind ``stats`` and ``trace``: every file in
+    the sample goes through the per-file ``DL_get`` path, then one
+    batched ``get_many`` exercises the scatter-gather path (``--jobs``
+    sets its fan-out).
+    """
+    from repro.obs import SpanRecorder
+
+    if limit < 1:
+        raise ReproError("--sample must be >= 1")
+    sync = ws.client(dataset)
+    recorder = SpanRecorder.attach(
+        sync.client, ws.server, *ws.tb.kv.instances
+    )
+    index = sync.load_meta(sync.save_meta())
+    paths = index.all_paths()
+    if not paths:
+        raise ReproError(f"dataset {dataset!r} has no files to sample")
+    stride = max(1, len(paths) // limit)
+    sample = paths[::stride][:limit]
+    for path in sample:
+        sync.get(path)
+    if len(sample) > 1:
+        sync.get_many(sample)
+    return recorder
+
+
+def cmd_stats(ws: DieselWorkspace, dataset: str, args) -> str:
+    recorder = _traced_sample_reads(ws, dataset, args.sample)
+    return recorder.summary()
+
+
+def cmd_trace(ws: DieselWorkspace, dataset: str, args) -> str:
+    from repro.obs import write_chrome_trace
+
+    recorder = _traced_sample_reads(ws, dataset, args.sample)
+    n = write_chrome_trace(recorder, args.dest)
+    return (
+        f"wrote {n} trace events to {args.dest} "
+        "(load via chrome://tracing or https://ui.perfetto.dev)"
+    )
+
+
 _COMMANDS = {
     "put": (cmd_put, True),
     "get": (cmd_get, False),
@@ -189,6 +263,8 @@ _COMMANDS = {
     "save-meta": (cmd_save_meta, False),
     "datasets": (cmd_datasets, False),
     "info": (cmd_info, False),
+    "stats": (cmd_stats, False),
+    "trace": (cmd_trace, False),
 }
 
 

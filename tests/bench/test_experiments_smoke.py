@@ -105,3 +105,16 @@ class TestExperimentSmoke:
         assert deep["fetch_hwm"] > 1
         for row in r.rows:
             assert row["duplicate_reads"] == 0
+
+    def test_latency(self):
+        r = E.latency_breakdown(n_files=128, batch=16)
+        row = r.rows[0]
+        # Per-layer read-resolution tallies cover every file read.
+        assert row["read_group_cache_count"] + row["read_server_count"] \
+            == row["files"] + 16
+        # Per-(op, layer) percentile columns from the recorder.
+        for col in ("get_group_cache_p50_ms", "get_group_cache_p99_ms",
+                    "get_server_p50_ms", "get_server_p99_ms"):
+            assert col in row and row[col] > 0.0
+        # With prefetch_depth=4 most reads resolve locally.
+        assert row["read_group_cache_count"] > row["read_server_count"]

@@ -1,0 +1,66 @@
+"""Sync test: docs/CONFIG.md must document every DieselConfig field.
+
+The reference page promises a row per field with the code's actual
+default; this test makes the promise structural, so adding a config
+knob without documenting it (or letting a documented default rot)
+fails CI.
+"""
+
+import re
+from dataclasses import MISSING, fields
+from pathlib import Path
+
+from repro.core.config import DieselConfig
+
+DOC = Path(__file__).resolve().parents[2] / "docs" / "CONFIG.md"
+
+
+def doc_text():
+    return DOC.read_text()
+
+
+def doc_table_rows():
+    """{field: row-cells} for the markdown field table."""
+    rows = {}
+    for line in doc_text().splitlines():
+        m = re.match(r"\|\s*`(\w+)`\s*\|", line)
+        if m and m.group(1) != "field":
+            rows[m.group(1)] = [c.strip() for c in line.split("|")[1:-1]]
+    return rows
+
+
+class TestConfigDocsSync:
+    def test_every_field_has_a_table_row(self):
+        documented = set(doc_table_rows())
+        actual = {f.name for f in fields(DieselConfig)}
+        assert documented == actual, (
+            f"docs/CONFIG.md table out of sync: "
+            f"missing={sorted(actual - documented)}, "
+            f"stale={sorted(documented - actual)}"
+        )
+
+    def test_every_field_has_a_semantics_section(self):
+        text = doc_text()
+        for f in fields(DieselConfig):
+            assert f"### `{f.name}`" in text, (
+                f"docs/CONFIG.md lacks a semantics section for {f.name}"
+            )
+
+    def test_documented_defaults_match_code(self):
+        rows = doc_table_rows()
+        for f in fields(DieselConfig):
+            assert f.default is not MISSING
+            cell = rows[f.name][1]
+            if f.name == "chunk_size":
+                # Documented symbolically; check the human-readable size.
+                assert "4 MiB" in cell
+                assert f.default == 4 * 1024 * 1024
+            elif isinstance(f.default, bool):
+                assert str(f.default) in cell
+            elif isinstance(f.default, str):
+                assert f'"{f.default}"' in cell
+            else:
+                assert f"`{f.default}`" in cell, (
+                    f"default for {f.name} documented as {cell!r}, "
+                    f"code says {f.default!r}"
+                )

@@ -15,6 +15,7 @@ PUBLIC_MODULES = [
     "repro.util",
     "repro.sim",
     "repro.sim.trace",
+    "repro.obs",
     "repro.cluster",
     "repro.rpc",
     "repro.kvstore",
@@ -65,14 +66,14 @@ def test_experiment_registry_covers_every_artifact():
     assert set(ALL_EXPERIMENTS) == {
         "table2", "fig6", "fig9", "fig10a", "fig10b", "fig10c",
         "fig11a", "fig11b", "fig12", "fig13", "fig14", "fig15",
-        "prefetch", "ingest", "fanout",
+        "prefetch", "ingest", "fanout", "latency",
     }
 
 
 def test_version():
     import repro
 
-    assert repro.__version__ == "1.0.0"
+    assert repro.__version__ == "1.3.0"
 
 
 def test_docstrings_on_public_modules():

@@ -96,3 +96,39 @@ class TestDlcmd:
         # A second, completely fresh invocation sees the data.
         assert run(tmp_path, "ls", "/persist") == 0
         assert "a.bin" in capsys.readouterr().out
+
+    def test_stats_prints_layer_table(self, tmp_path, local_tree, capsys):
+        run(tmp_path, "put", str(local_tree), "/t")
+        capsys.readouterr()
+        assert run(tmp_path, "-j", "2", "stats", "-n", "2") == 0
+        out = capsys.readouterr().out
+        header = out.splitlines()[0].split()
+        assert header[:2] == ["op", "layer"]
+        assert "get" in out and "server" in out
+        assert "rpc_get_file" in out
+
+    def test_stats_empty_dataset_errors(self, tmp_path, capsys):
+        assert run(tmp_path, "stats") == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_trace_writes_chrome_json(self, tmp_path, local_tree, capsys):
+        import json
+
+        run(tmp_path, "put", str(local_tree), "/t")
+        capsys.readouterr()
+        dest = tmp_path / "trace.json"
+        assert run(tmp_path, "trace", str(dest), "-n", "3") == 0
+        assert "trace events" in capsys.readouterr().out
+        events = json.loads(dest.read_text())
+        assert isinstance(events, list) and events
+        phases = {e["ph"] for e in events}
+        assert phases == {"M", "X"}
+        # Spans carry sim-microsecond timing and a layer attribution.
+        span = next(e for e in events if e["ph"] == "X")
+        assert span["dur"] >= 0 and "layer" in span["args"]
+
+    def test_bad_sample_count_errors(self, tmp_path, local_tree, capsys):
+        run(tmp_path, "put", str(local_tree / "a.bin"), "/a.bin")
+        capsys.readouterr()
+        assert run(tmp_path, "stats", "-n", "0") == 1
+        assert "--sample" in capsys.readouterr().err
