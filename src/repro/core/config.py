@@ -45,6 +45,27 @@ class DieselConfig:
     #: recovery; all masters always stream concurrently, this bounds the
     #: per-master overlap (Fig 11b).  1 = serial per-master stream.
     warmup_fanout: int = 1
+    #: Failure-detector probe period (seconds of simulated time).  Each
+    #: watched peer is probed once per interval.
+    heartbeat_interval_s: float = 0.05
+    #: How long a peer may go unreachable before the detector declares
+    #: it dead (suspect in the meantime).  Must exceed the heartbeat
+    #: interval, or a single missed probe would be fatal.
+    failure_timeout_s: float = 0.25
+    #: Extra RPC attempts after the first failure (0 = fail on first
+    #: error, the legacy behaviour).
+    rpc_retries: int = 2
+    #: First-retry backoff delay; doubles per attempt (with jitter).
+    rpc_backoff_base_s: float = 0.002
+    #: Per-attempt deadline; an attempt still in flight after this long
+    #: is abandoned and counted as a failure.  0 disables deadlines.
+    rpc_deadline_s: float = 0.0
+    #: Consecutive failures against one peer that trip its circuit
+    #: breaker (subsequent calls fast-fail to the degraded path).
+    breaker_threshold: int = 5
+    #: How long a tripped breaker stays open before a half-open probe
+    #: call is allowed through.
+    breaker_reset_s: float = 1.0
 
     def __post_init__(self) -> None:
         if self.chunk_size <= 0:
@@ -63,6 +84,22 @@ class DieselConfig:
             raise ValueError("read_fanout must be >= 1")
         if self.warmup_fanout < 1:
             raise ValueError("warmup_fanout must be >= 1")
+        if self.heartbeat_interval_s <= 0:
+            raise ValueError("heartbeat_interval_s must be positive")
+        if self.failure_timeout_s <= self.heartbeat_interval_s:
+            raise ValueError(
+                "failure_timeout_s must exceed heartbeat_interval_s"
+            )
+        if self.rpc_retries < 0:
+            raise ValueError("rpc_retries must be >= 0")
+        if self.rpc_backoff_base_s <= 0:
+            raise ValueError("rpc_backoff_base_s must be positive")
+        if self.rpc_deadline_s < 0:
+            raise ValueError("rpc_deadline_s must be >= 0")
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
+        if self.breaker_reset_s <= 0:
+            raise ValueError("breaker_reset_s must be positive")
 
 
 class ConfigStore:

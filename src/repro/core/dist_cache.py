@@ -29,7 +29,13 @@ from repro.calibration import Calibration, DEFAULT
 from repro.core.meta import FileRecord
 from repro.core.server import DieselServer
 from repro.core.chunk import Chunk
-from repro.errors import CachePeerDownError, DieselError
+from repro.errors import (
+    CachePeerDownError,
+    CircuitOpenError,
+    DeadlineExceededError,
+    DieselError,
+    NodeDownError,
+)
 from repro.cluster.network import NetworkFabric
 from repro.cluster.node import Node
 from repro.rpc.connections import ConnectionTable
@@ -275,6 +281,21 @@ class TaskCache:
         self._registered = False
         self._prefetch_procs: list = []
         self._recorder = None
+        #: Fault-tolerance hooks (all optional; None = legacy behaviour).
+        #: ``failure_listener.report_failure(master)`` is called when an
+        #: in-flight peer call fails — the CacheSupervisor wires itself
+        #: in here so detection does not wait for the next heartbeat.
+        self.failure_listener = None
+        self._retry_policy = None
+        self._breakers: Dict[str, Any] = {}  # master client name -> breaker
+        self._breaker_threshold = 5
+        self._breaker_reset_s = 1.0
+        self._rng = None
+        #: Reads served by the server because the owning peer failed
+        #: mid-call or its breaker was open (Fig 4 fall-through).
+        self.degraded_reads = 0
+        #: On-demand background pulls dropped because the master died.
+        self.dropped_pulls = 0
         #: Which layer served the most recent read_file — published for
         #: the client's span attribution (only updated while a recorder
         #: is attached, so the bare hot path stays untouched).
@@ -292,6 +313,49 @@ class TaskCache:
         for m in self.masters.values():
             m.recorder = value
             m.endpoint.recorder = value
+
+    # ------------------------------------------------------- fault tolerance
+    def configure_ft(self, config) -> None:
+        """Enable retry + per-master circuit breakers on the peer path.
+
+        ``config`` is a :class:`~repro.core.config.DieselConfig`; its
+        ``rpc_retries`` / ``rpc_backoff_base_s`` / ``rpc_deadline_s``
+        fields shape the retry policy and ``breaker_threshold`` /
+        ``breaker_reset_s`` the per-peer breakers.  Without this call
+        the data path behaves exactly as before (single attempt, no
+        breaker) except that mid-call peer death degrades to the server
+        instead of erroring.
+        """
+        import random
+
+        from repro.ft.retry import RetryPolicy
+
+        self._retry_policy = RetryPolicy.from_config(config)
+        self._breaker_threshold = config.breaker_threshold
+        self._breaker_reset_s = config.breaker_reset_s
+        self._breakers.clear()
+        # Seeded: retry jitter must not vary run to run.
+        self._rng = random.Random(0xD1E5E1)
+
+    def _breaker_for(self, master: CacheMaster):
+        breaker = self._breakers.get(master.client.name)
+        if breaker is None:
+            from repro.ft.breaker import CircuitBreaker
+
+            breaker = CircuitBreaker(
+                self.env, self._breaker_threshold, self._breaker_reset_s,
+                name=master.client.name,
+            )
+            self._breakers[master.client.name] = breaker
+        return breaker
+
+    def _note_peer_failure(self, master: CacheMaster) -> None:
+        listener = self.failure_listener
+        if listener is not None:
+            listener.report_failure(master)
+        rec = self._recorder
+        if rec is not None:
+            rec.count("ft_peer_failure", "task_cache")
 
     # ------------------------------------------------------------ lifecycle
     def register(self) -> Generator[Event, Any, dict]:
@@ -397,14 +461,52 @@ class TaskCache:
         t0 = self.env.now if rec is not None else 0.0
         encoded_cid = record.chunk_id.encode()
         master = self.owner_of(encoded_cid)
+        payload = None
+        peer_answered = False
         if master.up:
-            payload = yield from master.endpoint.call(
-                client.node,
-                "get_file",
-                encoded_cid,
-                record.path,
-                response_bytes=record.length,
-            )
+            try:
+                if self._retry_policy is not None:
+                    payload = yield from master.endpoint.call_with_retry(
+                        self._retry_policy,
+                        client.node,
+                        "get_file",
+                        encoded_cid,
+                        record.path,
+                        rng=self._rng,
+                        breaker=self._breaker_for(master),
+                        response_bytes=record.length,
+                    )
+                else:
+                    payload = yield from master.endpoint.call(
+                        client.node,
+                        "get_file",
+                        encoded_cid,
+                        record.path,
+                        response_bytes=record.length,
+                    )
+                peer_answered = True
+            except CircuitOpenError as exc:
+                # Known-bad peer: short-circuit straight to the server
+                # without paying another attempt.
+                self.degraded_reads += 1
+                if not self.fallback_to_server:
+                    raise CachePeerDownError(master.client.name) from exc
+            except (NodeDownError, DeadlineExceededError) as exc:
+                # Master died mid-call: degrade to the server path
+                # (Fig 4 fall-through) and feed the detector now.
+                self.degraded_reads += 1
+                self._note_peer_failure(master)
+                if not self.fallback_to_server:
+                    raise CachePeerDownError(master.client.name) from exc
+        else:
+            # Peer already known down: this read degrades to the server;
+            # telling the detector collapses detection latency to the
+            # first read that noticed.
+            self.degraded_reads += 1
+            self._note_peer_failure(master)
+            if not self.fallback_to_server:
+                raise CachePeerDownError(master.client.name)
+        if peer_answered:
             if payload is not None:
                 if rec is not None:
                     self.last_resolution = "task_cache"
@@ -415,11 +517,9 @@ class TaskCache:
             if self.policy == "on-demand" and master.up:
                 # Kick a background chunk pull; don't wait for it.
                 self.env.process(
-                    master.endpoint.call(client.node, "pull_chunk", encoded_cid),
+                    self._background_pull(client, master, encoded_cid),
                     name=f"pull:{encoded_cid[:8]}",
                 )
-        elif not self.fallback_to_server:
-            raise CachePeerDownError(master.client.name)
         payload = yield from self.server.call(
             client.node,
             "get_file",
@@ -432,6 +532,27 @@ class TaskCache:
             rec.record("cache_read", "server", self.env.now - t0,
                        actor=client.name, path=record.path)
         return payload
+
+    def _background_pull(
+        self, client: CacheClient, master: CacheMaster, encoded_cid: str
+    ) -> Generator[Event, Any, None]:
+        """On-demand fill, decoupled from the read that triggered it.
+
+        The read already fell through to the server, so this pull is
+        pure opportunism: if the master (or the server behind it) dies
+        mid-pull, log-and-drop — an orphaned failure must never
+        propagate into the engine or stall the training loop.
+        """
+        try:
+            yield from master.endpoint.call(
+                client.node, "pull_chunk", encoded_cid
+            )
+        except (NodeDownError, CachePeerDownError):
+            self.dropped_pulls += 1
+            self._note_peer_failure(master)
+            rec = self._recorder
+            if rec is not None:
+                rec.count("ft_dropped_pull", "task_cache")
 
     # -------------------------------------------------------------- recovery
     def dead_masters(self) -> list[CacheMaster]:

@@ -24,6 +24,7 @@ from typing import Any, Generator, Optional
 
 from repro.core.chunk import Chunk
 from repro.core.server import DieselServer, parse_object_key
+from repro.errors import ReproError
 from repro.sim.engine import Event, fan_out
 from repro.util.ids import ChunkId
 
@@ -134,7 +135,9 @@ def verify_rebuild(
     for path, length in expected_files.items():
         try:
             rec = server._file_record(dataset, path)
-        except Exception:
+        except (ReproError, KeyError):
+            # Narrow on purpose: only "the record is not there" counts
+            # as a discrepancy; a programming error must propagate.
             problems.append(f"missing file record: {path}")
             continue
         if rec.length != length:
@@ -143,7 +146,7 @@ def verify_rebuild(
             )
     try:
         dsrec = server.dataset_info(dataset)
-    except Exception:
+    except (ReproError, KeyError):
         problems.append(f"missing dataset record: {dataset}")
         return problems
     listed = {parse_object_key(k)[1] for k in _scan_keys(server, dataset, None)}

@@ -1,0 +1,46 @@
+"""Fault tolerance: failure detection, retry/backoff, self-healing.
+
+The paper's robustness story (§4.1.2 metadata recovery, §4.2 failure
+containment, Fig 6/11b) assumes failures are *noticed* and recovery is
+*automatic*.  This package supplies that machinery for the simulated
+deployment:
+
+* :class:`~repro.ft.detector.FailureDetector` — heartbeat/probe loop
+  marking peers alive → suspect → dead, with data-path failure reports
+  for instant detection;
+* :class:`~repro.ft.retry.RetryPolicy` /
+  :func:`~repro.ft.retry.retry_call` — exponential backoff + jitter and
+  per-call deadlines around any RPC generator;
+* :class:`~repro.ft.breaker.CircuitBreaker` — per-peer fast-fail once a
+  peer is known bad;
+* :class:`~repro.ft.supervisor.CacheSupervisor` /
+  :class:`~repro.ft.supervisor.KVSupervisor` — detector-driven
+  ``TaskCache.recover()`` and ``rebuild_dataset(from_timestamp)`` with
+  no operator in the loop.
+
+See ``docs/FAULTS.md`` for the model and a worked example.
+"""
+
+from repro.ft.breaker import CircuitBreaker
+from repro.ft.detector import ALIVE, DEAD, SUSPECT, FailureDetector
+from repro.ft.retry import (
+    TRANSIENT_ERRORS,
+    RetryPolicy,
+    retry_call,
+    run_with_deadline,
+)
+from repro.ft.supervisor import CacheSupervisor, KVSupervisor
+
+__all__ = [
+    "ALIVE",
+    "DEAD",
+    "SUSPECT",
+    "TRANSIENT_ERRORS",
+    "CacheSupervisor",
+    "CircuitBreaker",
+    "FailureDetector",
+    "KVSupervisor",
+    "RetryPolicy",
+    "retry_call",
+    "run_with_deadline",
+]

@@ -1,0 +1,100 @@
+"""Per-peer circuit breaker (closed → open → half-open, sim clock).
+
+Once a peer has failed ``threshold`` consecutive calls there is no
+information left in calling it again — every further attempt just pays
+the timeout before taking the degraded path anyway.  The breaker makes
+that decision once: it *opens* for ``reset_s`` simulated seconds during
+which calls fast-fail, then allows a single half-open probe whose
+outcome either closes it again or re-opens it for another window.
+"""
+
+from __future__ import annotations
+
+from repro.sim.engine import Environment
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Tracks consecutive failures against one peer.
+
+    Usage discipline (what :func:`repro.ft.retry.retry_call` does):
+    call :meth:`allow` before an attempt — a ``False`` means fast-fail —
+    then report the outcome with :meth:`record_failure` /
+    :meth:`record_success`.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        threshold: int = 5,
+        reset_s: float = 1.0,
+        name: str = "",
+    ) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if reset_s <= 0:
+            raise ValueError("reset_s must be positive")
+        self.env = env
+        self.threshold = threshold
+        self.reset_s = reset_s
+        self.name = name
+        self._failures = 0
+        self._opened_at: float | None = None
+        self._probing = False
+        #: Times the breaker tripped (closed/half-open → open).
+        self.trips = 0
+        #: Calls rejected while open.
+        self.rejections = 0
+
+    @property
+    def state(self) -> str:
+        """Current state, advancing open → half-open by the sim clock."""
+        if self._opened_at is None:
+            return CLOSED
+        if self.env.now - self._opened_at >= self.reset_s:
+            return HALF_OPEN
+        return OPEN
+
+    def allow(self) -> bool:
+        """Whether a call may be attempted right now."""
+        state = self.state
+        if state == CLOSED:
+            return True
+        if state == HALF_OPEN and not self._probing:
+            # Exactly one probe flies per half-open window.
+            self._probing = True
+            return True
+        self.rejections += 1
+        return False
+
+    def record_success(self) -> None:
+        """A call completed: close the breaker and forget past failures."""
+        self._failures = 0
+        self._opened_at = None
+        self._probing = False
+
+    def record_failure(self) -> None:
+        """A call failed: trip if at threshold or if the probe failed."""
+        if self._opened_at is not None:
+            # Half-open probe failed (or a straggler from before the
+            # trip): start a fresh open window.
+            self._open()
+            return
+        self._failures += 1
+        if self._failures >= self.threshold:
+            self._open()
+
+    def _open(self) -> None:
+        self._opened_at = self.env.now
+        self._probing = False
+        self._failures = 0
+        self.trips += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker({self.name!r}, state={self.state}, "
+            f"trips={self.trips})"
+        )

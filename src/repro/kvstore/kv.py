@@ -157,3 +157,13 @@ class KVInstance:
     def crash_and_lose_data(self) -> None:
         """Simulate an instance crash that loses its in-memory contents."""
         self.table.clear()
+
+    def restart(self) -> None:
+        """Cold-start the instance after its node came back (§4.1.2 (a)).
+
+        The store is in-memory, so a restart always begins empty —
+        whatever pairs the crash lost stay lost until a metadata rebuild
+        (:func:`repro.core.recovery.rebuild_dataset`) replays them.
+        """
+        self.table.clear()
+        self.endpoint.restart()

@@ -2,9 +2,14 @@
 
 from __future__ import annotations
 
-from typing import Any, Generator, Optional, Sequence
+import random
+from typing import Any, Dict, Generator, Optional, Sequence
 
-from repro.errors import ShardUnavailableError
+from repro.errors import (
+    CircuitOpenError,
+    NodeDownError,
+    ShardUnavailableError,
+)
 from repro.cluster.node import Node
 from repro.kvstore.kv import KVInstance
 from repro.sim.engine import Event
@@ -26,6 +31,71 @@ class ShardedKV:
         if not instances:
             raise ValueError("ShardedKV needs at least one instance")
         self._instances = list(instances)
+        #: Fault tolerance (opt-in via :meth:`configure_ft`; None =
+        #: legacy single-attempt behaviour).
+        self._retry = None
+        self._breakers: Dict[str, Any] = {}  # instance name -> breaker
+        self._breaker_threshold = 5
+        self._breaker_reset_s = 1.0
+        self._rng: Optional[random.Random] = None
+
+    def configure_ft(
+        self,
+        policy,
+        breaker_threshold: int = 5,
+        breaker_reset_s: float = 1.0,
+    ) -> None:
+        """Wrap every shard RPC in ``policy`` (a
+        :class:`repro.ft.retry.RetryPolicy`) with per-shard circuit
+        breakers.  The shard's liveness is re-probed on each attempt, so
+        a retried call survives a shard restart mid-operation."""
+        self._retry = policy
+        self._breaker_threshold = breaker_threshold
+        self._breaker_reset_s = breaker_reset_s
+        self._breakers.clear()
+        # Seeded: retry jitter must not vary run to run.
+        self._rng = random.Random(0x5A4D)
+
+    def _breaker_for(self, inst: KVInstance):
+        breaker = self._breakers.get(inst.name)
+        if breaker is None:
+            from repro.ft.breaker import CircuitBreaker
+
+            breaker = CircuitBreaker(
+                inst.env, self._breaker_threshold, self._breaker_reset_s,
+                name=inst.name,
+            )
+            self._breakers[inst.name] = breaker
+        return breaker
+
+    def _call_inst(
+        self, client: Node, inst: KVInstance, method: str, *args: Any,
+        **kw: Any,
+    ) -> Generator[Event, Any, Any]:
+        """One shard RPC, retried under the configured policy (if any)."""
+        if self._retry is None:
+            if not inst.up:
+                raise ShardUnavailableError(f"shard {inst.name!r} is down")
+            result = yield from inst.call(client, method, *args, **kw)
+            return result
+        from repro.ft.retry import retry_call
+
+        def attempt():
+            if not inst.up:
+                raise ShardUnavailableError(f"shard {inst.name!r} is down")
+            return inst.call(client, method, *args, **kw)
+
+        result = yield from retry_call(
+            inst.env,
+            self._retry,
+            attempt,
+            rng=self._rng,
+            breaker=self._breaker_for(inst),
+            recorder=inst.recorder,
+            op=f"kv_{method}",
+            actor=inst.name,
+        )
+        return result
 
     @property
     def instances(self) -> tuple[KVInstance, ...]:
@@ -47,36 +117,53 @@ class ShardedKV:
 
     # -- simulated operations (generators; run inside a process) ----------
     def get(self, client: Node, key: str) -> Generator[Event, Any, bytes]:
-        inst = self._live_owner(key)
-        result = yield from inst.call(client, "get", key)
+        result = yield from self._call_inst(client, self.owner(key), "get", key)
         return result
 
     def get_or_none(
         self, client: Node, key: str
     ) -> Generator[Event, Any, Optional[bytes]]:
-        inst = self._live_owner(key)
-        result = yield from inst.call(client, "get_or_none", key)
+        result = yield from self._call_inst(
+            client, self.owner(key), "get_or_none", key
+        )
         return result
 
     def put(self, client: Node, key: str, value: bytes) -> Generator[Event, Any, None]:
-        inst = self._live_owner(key)
-        yield from inst.call(
-            client, "put", key, value, request_bytes=64 + len(key) + len(value)
+        yield from self._call_inst(
+            client, self.owner(key), "put", key, value,
+            request_bytes=64 + len(key) + len(value),
         )
 
     def delete(self, client: Node, key: str) -> Generator[Event, Any, None]:
-        inst = self._live_owner(key)
-        yield from inst.call(client, "delete", key)
+        yield from self._call_inst(client, self.owner(key), "delete", key)
 
     def pscan(
-        self, client: Node, prefix: str
+        self, client: Node, prefix: str, skip_dead: bool = False
     ) -> Generator[Event, Any, list[tuple[str, bytes]]]:
-        """Prefix scan across all shards, merged in key order."""
+        """Prefix scan across all shards, merged in key order.
+
+        Liveness is validated **up front**, before any shard is charged
+        RPC cost — a scan never pays for half the cluster and then
+        raises on a shard it could have checked for free.
+        ``skip_dead=True`` is the degraded mode: scan whatever shards
+        answer and merge what exists (the caller owns the completeness
+        caveat); a shard dying *mid-scan* is likewise skipped.
+        """
+        down = [i.name for i in self._instances if not i.up]
+        if down and not skip_dead:
+            raise ShardUnavailableError(
+                f"shards down: {', '.join(sorted(down))}"
+            )
         merged: list[tuple[str, bytes]] = []
         for inst in self._instances:
-            if not inst.up:
-                raise ShardUnavailableError(f"shard {inst.name!r} is down")
-            part = yield from inst.call(client, "pscan", prefix)
+            if not inst.up and skip_dead:
+                continue
+            try:
+                part = yield from self._call_inst(client, inst, "pscan", prefix)
+            except (NodeDownError, ShardUnavailableError, CircuitOpenError):
+                if skip_dead:
+                    continue
+                raise
             merged.extend(part)
         merged.sort(key=lambda kv: kv[0])
         return merged
@@ -98,11 +185,20 @@ class ShardedKV:
     def local_delete(self, key: str) -> None:
         self._live_owner(key).table.delete(key)
 
-    def local_pscan(self, prefix: str) -> list[tuple[str, bytes]]:
+    def local_pscan(
+        self, prefix: str, skip_dead: bool = False
+    ) -> list[tuple[str, bytes]]:
+        """Zero-cost prefix scan; same up-front liveness validation and
+        degraded ``skip_dead`` semantics as :meth:`pscan`."""
+        down = [i.name for i in self._instances if not i.up]
+        if down and not skip_dead:
+            raise ShardUnavailableError(
+                f"shards down: {', '.join(sorted(down))}"
+            )
         merged: list[tuple[str, bytes]] = []
         for inst in self._instances:
             if not inst.up:
-                raise ShardUnavailableError(f"shard {inst.name!r} is down")
+                continue
             merged.extend(inst.table.pscan(prefix))
         merged.sort(key=lambda kv: kv[0])
         return merged

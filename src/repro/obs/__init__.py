@@ -15,7 +15,17 @@ breakdown first-class for the reproduction:
   ``chrome://tracing``; ``SpanRecorder.to_dict()`` merges into
   ``bench.reporting.stats_row`` for experiment tables.
 
-See ``docs/OBSERVABILITY.md`` for the model and a worked example.
+Fault tolerance reports through the same recorder under ``ft_*`` ops:
+retries and backoff (``ft_retry``, ``ft_backoff``, ``ft_deadline``,
+``ft_attempt_failed``, ``ft_exhausted``), breakers
+(``ft_breaker_reject``), detector transitions (``ft_alive`` /
+``ft_suspect`` / ``ft_dead``, ``ft_detect``), degraded-path events
+(``ft_peer_failure``, ``ft_dropped_pull``) and healing
+(``ft_recover``, ``ft_rebuild``).  Same zero-overhead contract: every
+site is one ``None`` check when no recorder is attached.
+
+See ``docs/OBSERVABILITY.md`` for the model and a worked example,
+``docs/FAULTS.md`` for the fault-tolerance ops.
 """
 
 from repro.obs.export import chrome_trace_events, write_chrome_trace

@@ -109,6 +109,20 @@ class RpcEndpoint:
     def up(self) -> bool:
         return self._up and self.node.alive
 
+    def restart(self) -> None:
+        """Bring the service back after its node was restored.
+
+        ``Node.restore`` models the *machine* coming back; the services
+        that died with it stay down until something restarts them — in
+        this codebase, the fault-tolerance supervisors
+        (:mod:`repro.ft.supervisor`) or a test doing it by hand.
+        """
+        if not self.node.alive:
+            raise NodeDownError(
+                self.node.name, f"cannot restart endpoint {self.name!r}"
+            )
+        self._up = True
+
     def _service_time(self, method: str, nbytes: int) -> float:
         if callable(self._service_s):
             return self._service_s(method, nbytes)
@@ -201,6 +215,36 @@ class RpcEndpoint:
         self.stats.calls += 1
         self.stats.request_bytes += request_bytes
         self.stats.response_bytes += resp_nbytes
+        return result
+
+    def call_with_retry(
+        self,
+        policy,
+        client: Node,
+        method: str,
+        *args: Any,
+        rng=None,
+        breaker=None,
+        **kw: Any,
+    ) -> Generator[Event, Any, Any]:
+        """:meth:`call` under a :class:`repro.ft.retry.RetryPolicy`.
+
+        Each attempt is a fresh :meth:`call` generator; backoff, per-call
+        deadlines, and the optional per-peer ``breaker`` follow the
+        policy.  A generator — drive it with ``yield from``.
+        """
+        from repro.ft.retry import retry_call
+
+        result = yield from retry_call(
+            self.env,
+            policy,
+            lambda: self.call(client, method, *args, **kw),
+            rng=rng,
+            breaker=breaker,
+            recorder=self.recorder,
+            op=f"rpc_{method}",
+            actor=self.name,
+        )
         return result
 
     def __repr__(self) -> str:

@@ -20,6 +20,7 @@ Subcommands::
     dlcmd info                                    workspace summary
     dlcmd stats                                   per-layer read latency
     dlcmd trace <local-file>                      chrome://tracing dump
+    dlcmd verify                                  metadata vs chunks check
 
 Every data-mutating command rewrites the workspace file.
 
@@ -112,6 +113,12 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "-n", "--sample", type=int, default=32,
         help="max files to read for the trace (default: %(default)s)",
+    )
+
+    sub.add_parser(
+        "verify",
+        help="cross-check KV metadata against the dataset's chunks "
+             "(the post-rebuild consistency check of docs/FAULTS.md)",
     )
     return parser
 
@@ -253,6 +260,32 @@ def cmd_trace(ws: DieselWorkspace, dataset: str, args) -> str:
     )
 
 
+def cmd_verify(ws: DieselWorkspace, dataset: str, args) -> str:
+    """Check every indexed file resolves through the KV metadata.
+
+    The expectations come from the chunk headers themselves (the
+    workspace re-reads them on open), so this catches KV drift — the
+    check `recovery.verify_rebuild` runs after a shard rebuild, exposed
+    as a standalone command for operators.
+    """
+    from repro.core.recovery import verify_rebuild
+
+    sync = ws.client(dataset)
+    index = sync.load_meta(sync.save_meta())
+    expected = {
+        path: index.lookup(path).length for path in index.all_paths()
+    }
+    if not expected:
+        raise ReproError(f"dataset {dataset!r} has no files to verify")
+    problems = verify_rebuild(ws.server, dataset, expected)
+    if problems:
+        raise ReproError(
+            f"metadata inconsistent ({len(problems)} problems):\n  "
+            + "\n  ".join(problems)
+        )
+    return f"metadata consistent: {len(expected)} files verified, 0 problems"
+
+
 _COMMANDS = {
     "put": (cmd_put, True),
     "get": (cmd_get, False),
@@ -265,6 +298,7 @@ _COMMANDS = {
     "info": (cmd_info, False),
     "stats": (cmd_stats, False),
     "trace": (cmd_trace, False),
+    "verify": (cmd_verify, False),
 }
 
 

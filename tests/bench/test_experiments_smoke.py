@@ -106,6 +106,24 @@ class TestExperimentSmoke:
         for row in r.rows:
             assert row["duplicate_reads"] == 0
 
+    def test_faults(self):
+        r = E.fig_faults(
+            n_files=80, n_nodes=3, kill_cache_at=0.1, kill_kv_at=0.3,
+            run_s=0.5, window_s=0.08,
+        )
+        cache_row = r.one(event="cache_master_killed")
+        kv_row = r.one(event="kv_shards_killed")
+        # Detector fired and recovery ran with no operator call.
+        assert cache_row["detection_s"] > 0
+        assert cache_row["chunks_reloaded"] > 0
+        # Steady state back within 10% of the pre-kill window.
+        assert 0.9 <= cache_row["post_over_pre"]
+        # Shard loss healed by the timestamp-scoped rebuild; the warm
+        # cache absorbed the outage with zero failed client reads.
+        assert kv_row["verify_problems"] == 0
+        assert kv_row["failed_reads"] == 0
+        assert kv_row["chunks_scanned"] > 0
+
     def test_latency(self):
         r = E.latency_breakdown(n_files=128, batch=16)
         row = r.rows[0]

@@ -1,0 +1,108 @@
+"""Edge cases for the failure injector's schedulers and watchers."""
+
+import pytest
+
+from repro.cluster.failure import FailureInjector
+from repro.cluster.node import Node
+from repro.sim import Environment
+
+
+def rig():
+    env = Environment()
+    node = Node(env, "victim")
+    return env, node, FailureInjector(env)
+
+
+class TestRestoreEdgeCases:
+    def test_restore_at_on_already_alive_node_is_a_noop(self):
+        env, node, inj = rig()
+        inj.restore_at(node, 1.0)  # node never died
+        env.run()
+        assert node.alive
+        assert inj.log == []  # nothing happened, nothing logged
+
+    def test_kill_at_on_already_dead_node_is_a_noop(self):
+        env, node, inj = rig()
+        node.kill()
+        inj.kill_at(node, 1.0)
+        env.run()
+        assert not node.alive
+        assert inj.log == []
+
+    def test_past_times_rejected(self):
+        env, node, inj = rig()
+        env.run(until=5.0)
+        with pytest.raises(ValueError):
+            inj.kill_at(node, 1.0)
+        with pytest.raises(ValueError):
+            inj.restore_at(node, 1.0)
+
+
+class TestOnTriggerEdgeCases:
+    def test_watcher_terminates_when_node_dies_by_other_means(self):
+        env, node, inj = rig()
+        inj.on_trigger(node, lambda: False)  # predicate never fires
+
+        def other_killer():
+            yield env.timeout(0.5)
+            node.kill()
+
+        env.process(other_killer())
+        # If the watcher did not notice the external death, this drain
+        # would never return (it reschedules itself every millisecond).
+        env.run()
+        assert not node.alive
+        # The watcher did not log a kill of its own.
+        assert inj.log == []
+
+    def test_trigger_fires_once_and_watcher_exits(self):
+        env, node, inj = rig()
+        fired = {"n": 0}
+
+        def done():
+            return env.now >= 0.25
+
+        inj.on_trigger(node, done)
+        env.run()
+        fired["n"] = sum(1 for _, what, _name in inj.log if what == "kill")
+        assert fired["n"] == 1
+        assert not node.alive
+
+
+class TestOrderingRaces:
+    def test_kill_then_restore_at_the_same_instant(self):
+        env, node, inj = rig()
+        # Scheduled in this order, delivered in this order (stable heap
+        # sequence numbers): the node ends the tick alive.
+        inj.kill_at(node, 1.0)
+        inj.restore_at(node, 1.0)
+        env.run()
+        assert node.alive
+        assert [what for _, what, _ in inj.log] == ["kill", "restore"]
+
+    def test_restore_scheduled_before_kill_never_resurrects(self):
+        env, node, inj = rig()
+        # The restore fires at 0.5 while the node is still alive (no-op);
+        # the kill at 1.0 then sticks.
+        inj.restore_at(node, 0.5)
+        inj.kill_at(node, 1.0)
+        env.run()
+        assert not node.alive
+        assert [what for _, what, _ in inj.log] == ["kill"]
+
+    def test_duplicate_kill_at_does_not_double_kill(self):
+        env, node, inj = rig()
+        inj.kill_at(node, 1.0)
+        inj.kill_at(node, 1.0)  # second killer finds it already dead
+        env.run()
+        assert not node.alive
+        assert [what for _, what, _ in inj.log] == ["kill"]
+
+    def test_kill_restore_kill_sequence(self):
+        env, node, inj = rig()
+        inj.kill_at(node, 1.0)
+        inj.restore_at(node, 2.0)
+        inj.kill_at(node, 3.0)
+        env.run()
+        assert not node.alive
+        assert [what for _, what, _ in inj.log] == ["kill", "restore", "kill"]

@@ -199,3 +199,46 @@ class TestDeletionPersistence:
         assert deployment.run(read(survivor)) == files[survivor]
         with pytest.raises(FileNotFoundInDatasetError):
             deployment.run(read(victim))
+
+
+class TestVerifyRebuildNarrowing:
+    """Regression: verify_rebuild must not swallow programming errors.
+
+    The handlers around ``server._file_record`` / ``server.dataset_info``
+    are narrowed to ``(ReproError, KeyError)`` — "the record is not
+    there" — so a genuine bug (TypeError, AttributeError, ...) raised
+    while checking a record propagates instead of being misreported as
+    a missing record.
+    """
+
+    def test_missing_records_still_counted_as_problems(self, deployment):
+        files = small_files(8)
+        write_dataset(deployment, "ds", files, chunk_size=8 * 1024)
+        expected = {p: len(b) for p, b in files.items()}
+        expected["/img/never-written.jpg"] = 123
+        problems = recovery.verify_rebuild(deployment.server, "ds", expected)
+        assert problems == ["missing file record: /img/never-written.jpg"]
+
+    def test_file_record_bug_propagates(self, deployment, monkeypatch):
+        files = small_files(4)
+        write_dataset(deployment, "ds", files, chunk_size=8 * 1024)
+
+        def broken(dataset, path):
+            raise TypeError("boom: a bug, not a missing record")
+
+        monkeypatch.setattr(deployment.server, "_file_record", broken)
+        with pytest.raises(TypeError):
+            recovery.verify_rebuild(
+                deployment.server, "ds", {next(iter(files)): 1}
+            )
+
+    def test_dataset_info_bug_propagates(self, deployment, monkeypatch):
+        files = small_files(4)
+        write_dataset(deployment, "ds", files, chunk_size=8 * 1024)
+
+        def broken(dataset):
+            raise AttributeError("boom: a bug, not a missing dataset")
+
+        monkeypatch.setattr(deployment.server, "dataset_info", broken)
+        with pytest.raises(AttributeError):
+            recovery.verify_rebuild(deployment.server, "ds", {})

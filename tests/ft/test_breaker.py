@@ -1,0 +1,80 @@
+"""Tests for the per-peer circuit breaker state machine."""
+
+import pytest
+
+from repro.ft import CircuitBreaker
+from repro.ft.breaker import CLOSED, HALF_OPEN, OPEN
+from repro.sim import Environment
+
+
+def make(threshold=3, reset_s=1.0):
+    env = Environment()
+    return env, CircuitBreaker(env, threshold=threshold, reset_s=reset_s)
+
+
+class TestBreaker:
+    def test_starts_closed_and_allows(self):
+        _, b = make()
+        assert b.state == CLOSED
+        assert b.allow()
+
+    def test_trips_after_threshold_consecutive_failures(self):
+        _, b = make(threshold=3)
+        b.record_failure()
+        b.record_failure()
+        assert b.state == CLOSED
+        b.record_failure()
+        assert b.state == OPEN
+        assert b.trips == 1
+        assert not b.allow()
+        assert b.rejections == 1
+
+    def test_success_resets_the_failure_streak(self):
+        _, b = make(threshold=2)
+        b.record_failure()
+        b.record_success()
+        b.record_failure()
+        assert b.state == CLOSED  # streak broken: 1+1 non-consecutive
+
+    def test_half_open_after_reset_window(self):
+        env, b = make(threshold=1, reset_s=1.0)
+        b.record_failure()
+        assert b.state == OPEN
+        env.run(until=1.5)
+        assert b.state == HALF_OPEN
+
+    def test_half_open_allows_exactly_one_probe(self):
+        env, b = make(threshold=1, reset_s=1.0)
+        b.record_failure()
+        env.run(until=1.5)
+        assert b.allow()       # the probe
+        assert not b.allow()   # concurrent calls still rejected
+
+    def test_probe_success_closes(self):
+        env, b = make(threshold=1, reset_s=1.0)
+        b.record_failure()
+        env.run(until=1.5)
+        assert b.allow()
+        b.record_success()
+        assert b.state == CLOSED
+        assert b.allow()
+
+    def test_probe_failure_reopens_for_a_fresh_window(self):
+        env, b = make(threshold=1, reset_s=1.0)
+        b.record_failure()
+        env.run(until=1.5)
+        assert b.allow()
+        b.record_failure()
+        assert b.state == OPEN
+        assert b.trips == 2
+        env.run(until=2.0)  # 0.5s into the new window: still open
+        assert b.state == OPEN
+        env.run(until=2.6)
+        assert b.state == HALF_OPEN
+
+    def test_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            CircuitBreaker(env, threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(env, reset_s=0.0)

@@ -1,0 +1,177 @@
+"""End-to-end self-healing: detector-driven cache + KV recovery."""
+
+import pytest
+
+from repro.core.dist_cache import CacheClient, TaskCache
+from repro.core.recovery import verify_rebuild
+from repro.ft import CacheSupervisor, FailureDetector, KVSupervisor, SUSPECT
+from tests.core.conftest import build_deployment, small_files, write_dataset
+
+
+def cache_rig(n_nodes=3, n_files=24, interval=0.02, timeout=0.05):
+    dep = build_deployment(n_client_nodes=n_nodes)
+    files = small_files(n_files, size=2048)
+    writer = write_dataset(dep, "ds", files, chunk_size=8 * 1024)
+
+    def load():
+        blob = yield from writer.save_meta()
+        yield from writer.load_meta(blob)
+
+    dep.run(load())
+    clients = [
+        CacheClient(f"cc{i}", node, i)
+        for i, node in enumerate(dep.client_nodes)
+    ]
+    cache = TaskCache(dep.env, dep.fabric, dep.server, "ds", clients)
+    dep.run(cache.register())
+    dep.run(cache.wait_warm())
+    det = FailureDetector(dep.env, heartbeat_interval_s=interval,
+                          failure_timeout_s=timeout)
+    sup = CacheSupervisor(det, cache, fanout=2)
+    det.start()
+    return dep, cache, clients, files, writer.index, det, sup
+
+
+class TestCacheSupervisor:
+    def test_master_death_heals_with_no_operator_call(self):
+        dep, cache, clients, files, index, det, sup = cache_rig()
+        victim_node = dep.client_nodes[0]
+        assert victim_node.name in cache.masters
+
+        def scenario():
+            yield dep.env.timeout(0.05)
+            victim_node.kill()
+            # Give the detector + healing process room to run.
+            yield dep.env.timeout(2.0)
+
+        dep.run(scenario())
+        det.stop()
+        dep.env.run()
+        # The dead master was evicted and its chunks re-partitioned.
+        assert victim_node.name not in cache.masters
+        assert len(sup.recoveries) == 1
+        assert sup.recoveries[0]["chunks_reloaded"] > 0
+        # Every chunk is cached again on a live survivor.
+        assert cache.cached_chunks() == len(index.chunk_ids())
+        assert det.detection_latency_s("cache:cc0") is not None
+
+    def test_reads_keep_succeeding_through_the_whole_episode(self):
+        dep, cache, clients, files, index, det, sup = cache_rig()
+        victim_node = dep.client_nodes[0]
+        reader = next(c for c in clients
+                      if c.node.name != victim_node.name)
+        outcomes = {"ok": 0}
+
+        def read_loop():
+            for sweep in range(6):
+                if sweep == 1:
+                    victim_node.kill()
+                for path, expected in files.items():
+                    data = yield from cache.read_file(reader,
+                                                      index.lookup(path))
+                    assert data == expected
+                    outcomes["ok"] += 1
+                yield dep.env.timeout(0.05)
+
+        dep.run(read_loop())
+        det.stop()
+        dep.env.run()
+        assert outcomes["ok"] == 6 * len(files)
+        assert len(sup.recoveries) == 1
+
+    def test_inflight_failure_reports_into_the_detector(self):
+        dep, cache, clients, files, index, det, sup = cache_rig(
+            interval=10.0, timeout=20.0  # probes effectively never fire
+        )
+        victim_node = dep.client_nodes[0]
+        victim_node.kill()
+        reader = next(c for c in clients
+                      if c.node.name != victim_node.name)
+        victim_chunks = {
+            cid for cid, m in cache._owner_of.items()
+            if m.node.name == victim_node.name
+        }
+        path = next(p for p in files
+                    if index.lookup(p).chunk_id.encode() in victim_chunks)
+
+        def read():
+            data = yield from cache.read_file(reader, index.lookup(path))
+            return data
+
+        assert dep.run(read()) == files[path]
+        # No heartbeat ran, yet the failed read flagged the master.
+        assert det.state("cache:cc0") == SUSPECT
+        det.stop()
+
+
+class TestKVSupervisor:
+    def heal_rig(self, restart_delay=0.1):
+        dep = build_deployment()
+        files = small_files(30, size=1024)
+        write_dataset(dep, "ds", files, chunk_size=8 * 1024)
+        det = FailureDetector(dep.env, heartbeat_interval_s=0.05,
+                              failure_timeout_s=0.2)
+        sup = KVSupervisor(det, dep.server, dep.kv, ["ds"],
+                           restart_delay_s=restart_delay)
+        det.start()
+        return dep, files, det, sup
+
+    def test_shard_loss_is_restarted_and_rebuilt(self):
+        dep, files, det, sup = self.heal_rig()
+        victim = dep.kv.instances[1]
+        keys_before = dep.kv.total_keys()
+
+        def scenario():
+            yield dep.env.timeout(0.1)
+            victim.node.kill()
+            yield dep.env.timeout(3.0)
+
+        dep.run(scenario())
+        det.stop()
+        dep.env.run()  # drain the rebuild process
+        assert victim.up  # auto-restarted
+        assert len(sup.rebuilds) == 1
+        assert sup.rebuilds[0]["shards"] == ["kv:kv1"]
+        assert sup.rebuilds[0]["chunks_scanned"] > 0
+        # Scenario (a): replay starts from the last-known-good second.
+        assert sup.rebuilds[0]["from_timestamp"] == 0
+        # Metadata is whole again: every pair replayed, nothing missing.
+        assert dep.kv.total_keys() == keys_before
+        expected = {p: len(b) for p, b in files.items()}
+        assert verify_rebuild(dep.server, "ds", expected) == []
+
+    def test_no_auto_restart_defers_until_operator_restore(self):
+        dep = build_deployment()
+        files = small_files(20, size=1024)
+        write_dataset(dep, "ds", files, chunk_size=8 * 1024)
+        det = FailureDetector(dep.env, heartbeat_interval_s=0.05,
+                              failure_timeout_s=0.2)
+        sup = KVSupervisor(det, dep.server, dep.kv, ["ds"],
+                           auto_restart=False)
+        det.start()
+        victim = dep.kv.instances[2]
+
+        def scenario():
+            yield dep.env.timeout(0.1)
+            victim.node.kill()
+            yield dep.env.timeout(1.0)
+            assert not victim.up  # supervisor did not touch it
+            assert sup.rebuilds == []
+            # Operator brings it back; the supervisor takes over.
+            victim.node.restore()
+            victim.restart()
+            yield dep.env.timeout(2.0)
+
+        dep.run(scenario())
+        det.stop()
+        dep.env.run()
+        assert len(sup.rebuilds) == 1
+        expected = {p: len(b) for p, b in files.items()}
+        assert verify_rebuild(dep.server, "ds", expected) == []
+
+    def test_restart_validation(self):
+        dep = build_deployment()
+        det = FailureDetector(dep.env)
+        with pytest.raises(ValueError):
+            KVSupervisor(det, dep.server, dep.kv, ["ds"],
+                         restart_delay_s=-1.0)

@@ -16,6 +16,7 @@ PUBLIC_MODULES = [
     "repro.sim",
     "repro.sim.trace",
     "repro.obs",
+    "repro.ft",
     "repro.cluster",
     "repro.rpc",
     "repro.kvstore",
@@ -66,14 +67,14 @@ def test_experiment_registry_covers_every_artifact():
     assert set(ALL_EXPERIMENTS) == {
         "table2", "fig6", "fig9", "fig10a", "fig10b", "fig10c",
         "fig11a", "fig11b", "fig12", "fig13", "fig14", "fig15",
-        "prefetch", "ingest", "fanout", "latency",
+        "prefetch", "ingest", "fanout", "latency", "faults",
     }
 
 
 def test_version():
     import repro
 
-    assert repro.__version__ == "1.3.0"
+    assert repro.__version__ == "1.4.0"
 
 
 def test_docstrings_on_public_modules():

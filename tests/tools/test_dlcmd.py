@@ -132,3 +132,14 @@ class TestDlcmd:
         capsys.readouterr()
         assert run(tmp_path, "stats", "-n", "0") == 1
         assert "--sample" in capsys.readouterr().err
+
+    def test_verify_clean_workspace(self, tmp_path, local_tree, capsys):
+        run(tmp_path, "put", str(local_tree), "/t")
+        capsys.readouterr()
+        assert run(tmp_path, "verify") == 0
+        out = capsys.readouterr().out
+        assert "3 files verified, 0 problems" in out
+
+    def test_verify_empty_dataset_errors(self, tmp_path, capsys):
+        assert run(tmp_path, "verify") == 1
+        assert "no such dataset" in capsys.readouterr().err
