@@ -1,0 +1,30 @@
+"""Locality placement vs hash ring: local hits, epoch time, coalescing."""
+
+import pytest
+
+from repro.bench.experiments import fig_locality
+
+
+@pytest.mark.benchmark(group="locality")
+def test_fig_locality(experiment):
+    result = experiment(fig_locality)
+    loc = result.one(placement="locality")
+    hsh = result.one(placement="hash")
+    # Headline criterion: ≥90% of a balanced multi-node epoch's hits
+    # are node-local under locality placement, vs ≈1/p under hash.
+    assert loc["local_frac"] >= 0.9
+    assert hsh["local_frac"] <= 1.5 / loc["nodes"]
+    # Skipping the network hop must show up as a faster epoch.
+    assert loc["epoch_read_s"] < hsh["epoch_read_s"]
+    # Obs spans attribute every read to a local/remote layer.
+    assert loc["span_local"] == loc["cache_local_hits"]
+    assert hsh["span_remote"] == hsh["cache_remote_hits"]
+    # Pull storm: the single-flight map keeps the backend at exactly
+    # one fetch per chunk, with the rest coalesced in flight.
+    storm = result.one(event="pull_storm")
+    assert storm["coalesced_pulls"] > 0
+    assert storm["duplicate_backend_fetches"] == 0
+    # Read skew: the hot chunk was replicated and reads went local.
+    hot = result.one(event="hot_replication")
+    assert hot["replicated_chunks"] >= 1
+    assert hot["post_replication_local"] == 1

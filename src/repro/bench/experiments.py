@@ -1668,6 +1668,184 @@ def fig_faults(
     return result
 
 
+# =========================================================== locality
+def fig_locality(
+    n_files: int = 240,
+    file_size: int = 8 * KB,
+    n_nodes: int = 4,
+    chunk_size: int = 64 * KB,
+    group_size: int = 2,
+    storm_clients: int = 6,
+    hot_threshold: int = 3,
+) -> ExperimentResult:
+    """Locality-aware placement vs the hash ring (§4.2, Hoard layout).
+
+    Three phases on a balanced multi-node task:
+
+    1. **Placement** — the same warmed task cache under ``hash`` and
+       ``locality`` placement serves one affinity-scheduled epoch from
+       p workers (one per node).  Under ``hash`` every node owns ~1/p
+       of the chunks, so ~(p−1)/p of hits pay the cross-node RPC hop;
+       under ``locality`` each worker's shard is co-located with its
+       own master and hits are node-local memory copies.  Reports the
+       local-hit fraction and the epoch read time for both.
+    2. **Pull storm** — n clients fault every chunk of a cold
+       on-demand cache concurrently; the per-master single-flight map
+       coalesces them so the backend sees exactly one fetch per chunk
+       (``duplicate_backend_fetches == 0``).
+    3. **Hot-chunk replication** — one node hammers a chunk owned by a
+       remote master past ``hot_chunk_threshold``; the chunk is
+       replicated onto the reader's local master and the next read
+       resolves locally.
+    """
+    from repro.bench.reporting import stats_row
+    from repro.dlt.dataloader import EpochScheduler
+    from repro.obs import SpanRecorder
+
+    result = ExperimentResult(
+        "locality-aware cache placement",
+        "§4.2 placement + affinity scheduling + pull coalescing",
+    )
+    files = {
+        f"/ds/f{i:05d}.jpg": b"\x3c" * file_size for i in range(n_files)
+    }
+    with timer(result):
+        # ---------------------------------------- phase 1: placement
+        epoch_elapsed = {}
+        for placement in ("hash", "locality"):
+            tb = make_testbed(n_compute=n_nodes)
+            add_diesel(tb, n_servers=1)
+            bulk_load_diesel(tb, "ds", files, chunk_size=chunk_size)
+            clients = [
+                diesel_client_with_snapshot(
+                    tb, "ds", tb.compute_nodes[c], f"{placement}-c{c}", rank=c
+                )
+                for c in range(n_nodes)
+            ]
+            cache = TaskCache(
+                tb.env, tb.fabric, tb.diesel, "ds",
+                [c.as_cache_client() for c in clients],
+                policy="oneshot", calibration=tb.cal, placement=placement,
+            )
+            tb.run(cache.register())
+            tb.run(cache.wait_warm())
+            recorder = SpanRecorder.attach(cache)
+            worker_nodes = [n.name for n in tb.compute_nodes[:n_nodes]]
+            scheduler = EpochScheduler(
+                clients[0].index.files_by_chunk(), group_size,
+                worker_nodes, cache=cache, seed=7,
+            )
+            index = clients[0].index
+
+            def worker(w, cc, scheduler=scheduler, index=index, cache=cache):
+                shard = scheduler.shard(0, w)
+                for path in shard.files:
+                    yield from cache.read_file(cc, index.lookup(path))
+
+            t0 = tb.env.now
+            tb.run_all(
+                worker(w, c.as_cache_client())
+                for w, c in enumerate(clients)
+            )
+            elapsed = tb.env.now - t0
+            epoch_elapsed[placement] = elapsed
+            stats = cache.stats
+            served = stats.local_hits + stats.remote_hits
+            local_frac = stats.local_hits / served if served else 0.0
+            spans = recorder.to_dict()
+            result.add(
+                placement=placement, nodes=n_nodes, files=len(files),
+                epoch_read_s=elapsed, local_frac=local_frac,
+                span_local=spans.get("cache_read_local_master_n", 0),
+                span_remote=spans.get("cache_read_task_cache_n", 0),
+                **stats_row(stats, prefix="cache_"),
+            )
+            result.note(
+                f"{placement}: {stats.local_hits}/{served} local hits "
+                f"({local_frac:.0%}), epoch read {elapsed * 1e3:.2f}ms"
+            )
+        result.note(
+            "locality epoch read time at "
+            f"{epoch_elapsed['locality'] / epoch_elapsed['hash']:.0%} "
+            "of hash placement"
+        )
+
+        # --------------------------------------- phase 2: pull storm
+        tb = make_testbed(n_compute=n_nodes)
+        add_diesel(tb, n_servers=1)
+        chunks = bulk_load_diesel(tb, "ds", files, chunk_size=chunk_size)
+        storm = [
+            diesel_client_with_snapshot(
+                tb, "ds", tb.compute_nodes[c % n_nodes], f"s{c}", rank=c
+            )
+            for c in range(storm_clients)
+        ]
+        cache = TaskCache(
+            tb.env, tb.fabric, tb.diesel, "ds",
+            [c.as_cache_client() for c in storm],
+            policy="on-demand", calibration=tb.cal, placement="locality",
+            hot_chunk_threshold=hot_threshold,
+        )
+        tb.run(cache.register())
+        all_cids = [c.chunk_id.encode() for c in chunks]
+        fetches_before = tb.diesel.stats.chunk_reads
+
+        def puller(cc):
+            for encoded in all_cids:
+                owner = cache.owner_of(encoded)
+                yield from owner.endpoint.call(cc.node, "pull_chunk", encoded)
+
+        tb.run_all(puller(c.as_cache_client()) for c in storm)
+        fetches = tb.diesel.stats.chunk_reads - fetches_before
+        stats = cache.stats
+        result.add(
+            event="pull_storm", clients=storm_clients,
+            chunks=len(all_cids), backend_chunk_fetches=fetches,
+            duplicate_backend_fetches=fetches - len(all_cids),
+            coalesced_pulls=stats.coalesced_pulls,
+        )
+        result.note(
+            f"pull storm: {storm_clients} clients × {len(all_cids)} chunks "
+            f"→ {fetches} backend fetches "
+            f"({fetches - len(all_cids)} duplicates), "
+            f"{stats.coalesced_pulls} pulls coalesced in flight"
+        )
+
+        # -------------------------------- phase 3: hot-chunk replication
+        index = storm[0].index
+        reader = next(
+            c for c in storm
+            if c.node.name != cache.owner_of(all_cids[0]).node.name
+        )
+        hot_paths = [
+            p for p in index.all_paths()
+            if index.lookup(p).chunk_id.encode() == all_cids[0]
+        ]
+        cc = reader.as_cache_client()
+
+        def hammer():
+            for _ in range(hot_threshold):
+                yield from cache.read_file(cc, index.lookup(hot_paths[0]))
+
+        tb.run(hammer())
+        tb.env.run()  # drain the background replication pull
+        local_before = cache.local_hits
+        tb.run(cache.read_file(cc, index.lookup(hot_paths[0])))
+        stats = cache.stats
+        result.add(
+            event="hot_replication", threshold=hot_threshold,
+            replicated_chunks=stats.replicated_chunks,
+            post_replication_local=cache.local_hits - local_before,
+        )
+        result.note(
+            f"hot chunk replicated after {hot_threshold} remote reads "
+            f"({stats.replicated_chunks} replicas); next read resolved "
+            "locally" if cache.local_hits > local_before else
+            "hot chunk replication did not trigger"
+        )
+    return result
+
+
 #: Registry used by the CLI-style runner and the EXPERIMENTS.md generator.
 ALL_EXPERIMENTS = {
     "table2": table2_read_bandwidth,
@@ -1687,4 +1865,5 @@ ALL_EXPERIMENTS = {
     "fanout": fanout_scatter_gather,
     "latency": latency_breakdown,
     "faults": fig_faults,
+    "locality": fig_locality,
 }

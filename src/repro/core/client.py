@@ -835,8 +835,17 @@ class DieselClient:
             raise DieselError("call enable_shuffle() first")
         rng = random.Random(self._epoch_seed(seed))
         self._epoch += 1
+        # Under locality placement, build owner-aligned groups so the
+        # affinity scheduler can pin each group to its co-located worker.
+        owner_of = None
+        if (
+            self._cache is not None
+            and getattr(self._cache, "placement", "hash") == "locality"
+        ):
+            owner_of = self._cache.chunk_owner_node
         plan = chunkwise_shuffle(
-            self.index.files_by_chunk(), self._shuffle_group_size, rng
+            self.index.files_by_chunk(), self._shuffle_group_size, rng,
+            owner_of=owner_of,
         )
         if self.config.prefetch_depth > 0:
             self.start_prefetch(plan)

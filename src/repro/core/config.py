@@ -23,6 +23,21 @@ class DieselConfig:
     #: Task-grained cache policy: 'oneshot' prefetches at registration;
     #: 'on-demand' fills on first miss (§4.2 "Cache Policies").
     cache_policy: str = "oneshot"
+    #: Chunk-placement policy across the task's cache masters: 'hash'
+    #: round-robins chunks over the ring (the paper's consistent-hash
+    #: spread — every node owns ~1/p, so (p−1)/p of reads pay a network
+    #: hop); 'locality' assigns each worker's shuffle-group chunks to
+    #: the master co-located with that worker, turning steady-state hits
+    #: into node-local memory reads (Hoard/FanStore layout).
+    cache_placement: str = "hash"
+    #: Fraction of a node's free memory the locality partition may
+    #: claim before further chunks spill to the hash ring.  Only
+    #: consulted under ``cache_placement='locality'``.
+    locality_spill_ratio: float = 0.9
+    #: Remote reads of one chunk from one node before the cache
+    #: replicates it onto that node's local master (read-skew
+    #: mitigation).  0 disables hot-chunk replication.
+    hot_chunk_threshold: int = 0
     #: Chunk-wise shuffle group size (chunks per group, §4.3/Fig 13).
     shuffle_group_size: int = 100
     #: Chunks kept in flight ahead of the shuffle-mode consumer (§4.3's
@@ -72,6 +87,14 @@ class DieselConfig:
             raise ValueError("chunk_size must be positive")
         if self.cache_policy not in ("oneshot", "on-demand"):
             raise ValueError(f"unknown cache policy: {self.cache_policy!r}")
+        if self.cache_placement not in ("hash", "locality"):
+            raise ValueError(
+                f"unknown cache placement: {self.cache_placement!r}"
+            )
+        if not 0.0 < self.locality_spill_ratio <= 1.0:
+            raise ValueError("locality_spill_ratio must be in (0, 1]")
+        if self.hot_chunk_threshold < 0:
+            raise ValueError("hot_chunk_threshold must be >= 0")
         if self.shuffle_group_size < 1:
             raise ValueError("shuffle_group_size must be >= 1")
         if self.prefetch_depth < 0:

@@ -6,9 +6,19 @@ Each DLT task caches *its own* dataset across *its own* worker nodes:
 * the lowest-ranked client on each physical node is elected **master**;
   only masters hold cache partitions, so the connection mesh is
   p×(n−1) (clients × masters) instead of n×(n−1) (full client mesh);
-* chunks are partitioned across masters deterministically (round-robin
-  over the sorted chunk list), and any client reaches any file in **one
-  hop** via the owning master;
+* chunks are partitioned across masters deterministically — the
+  ``hash`` policy round-robins over the sorted chunk list (the paper's
+  consistent-hash spread), the ``locality`` policy gives each master a
+  contiguous slice with capacity-aware spill to the ring, so the
+  affinity scheduler can land each worker's reads on its own node's
+  master and skip the network hop entirely;
+* any client reaches any file in **one hop** via the owning master, and
+  a chunk resident on the reader's *own* master is served as a local
+  memory copy (no RPC);
+* concurrent pulls of one chunk coalesce into a single backend fetch
+  (per-master single-flight), and chunks read remotely often enough
+  (``hot_chunk_threshold``) are replicated onto the readers' local
+  masters;
 * cache policies (§4.2): ``oneshot`` prefetches the full partition in the
   background right after registration; ``on-demand`` pulls a chunk the
   first time one of its files misses;
@@ -65,6 +75,38 @@ class CacheMasterStats:
     #: Most chunk pulls ever concurrently in flight on this master
     #: (stays 0/1 with ``warmup_fanout`` at its serial default).
     pull_inflight_hwm: int = 0
+    #: Pull requests that joined an in-flight backend fetch instead of
+    #: issuing their own (the per-master single-flight map).
+    coalesced_pulls: int = 0
+    #: Hot chunks replicated onto this master from another owner's
+    #: partition (read-skew mitigation).
+    replicated_chunks: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        """All counters as ``{name: value}``, derived from the dataclass
+        fields so a new counter can never silently drop out of rows."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass(slots=True)
+class TaskCacheStats:
+    """Task-wide read-locality counters (the bench-reporting seam).
+
+    Snapshot built by :attr:`TaskCache.stats`: ``local_hits`` /
+    ``remote_hits`` / ``degraded_reads`` are cache-level, while
+    ``coalesced_pulls`` / ``replicated_chunks`` sum over the live
+    masters.
+    """
+
+    #: Cache hits served from the reader's own node's master — a memory
+    #: copy, no network hop.
+    local_hits: int = 0
+    #: Cache hits that paid the one-hop peer RPC.
+    remote_hits: int = 0
+    #: Reads served by the server because the owning peer was down.
+    degraded_reads: int = 0
+    coalesced_pulls: int = 0
+    replicated_chunks: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         """All counters as ``{name: value}``, derived from the dataclass
@@ -93,6 +135,9 @@ class CacheMaster:
         self.assigned: List[str] = []  # encoded chunk ids
         self._chunks: Dict[str, Chunk] = {}
         self._chunk_bytes: Dict[str, int] = {}
+        #: Single-flight map: encoded cid -> completion event of the
+        #: backend fetch currently streaming that chunk.
+        self._pull_inflight: Dict[str, Event] = {}
         self.stats = CacheMasterStats()
         #: Attached observability recorder (propagated by TaskCache).
         self.recorder = None
@@ -132,8 +177,28 @@ class CacheMaster:
             return self._pull_chunk(args[0])
         raise DieselError(f"unknown cache method {method!r}")
 
+    def local_payload(self, encoded_cid: str, path: str) -> Optional[bytes]:
+        """Serve one file from a resident chunk without an RPC.
+
+        The node-local fast path: when the reader sits on this master's
+        own node, :class:`TaskCache` calls this directly and charges the
+        intra-node memory-copy cost itself.  Returns ``None`` when the
+        chunk is absent (or the file is not in it) — the caller then
+        takes the regular one-hop/fall-through route.
+        """
+        chunk = self._chunks.get(encoded_cid)
+        if chunk is None or path not in chunk:
+            return None
+        self.stats.hits += 1
+        return chunk.payload(path, verify=False)
+
     def _pull_chunk(self, encoded_cid: str) -> Generator[Event, Any, bool]:
-        """Fetch one assigned chunk from the server into memory.
+        """Fetch one chunk from the server into memory (single-flight).
+
+        Concurrent pulls of the same chunk — n clients faulting it at
+        once, warmup racing an on-demand fill, a hot-chunk replication —
+        coalesce onto one backend fetch: late arrivals wait on the
+        in-flight event and are counted as ``coalesced_pulls``.
 
         The cache aggregates the node's *free* memory (§4.2): a chunk is
         only cached if the node's memory budget covers it; otherwise it
@@ -142,23 +207,34 @@ class CacheMaster:
         """
         if encoded_cid in self._chunks:
             return True
-        blob = yield from self.server.call(
-            self.node,
-            "get_chunk",
-            self.dataset,
-            encoded_cid,
-            response_bytes=None,  # sized from the returned bytes
-        )
-        if self.node.memory.level < len(blob):
-            self.stats.skipped_no_memory += 1
-            return False
-        yield self.node.memory.get(len(blob))
-        chunk = Chunk.decode(blob)
-        self._chunks[encoded_cid] = chunk
-        self._chunk_bytes[encoded_cid] = len(blob)
-        self.stats.chunks_loaded += 1
-        self.stats.bytes_cached += len(blob)
-        return True
+        pending = self._pull_inflight.get(encoded_cid)
+        if pending is not None:
+            self.stats.coalesced_pulls += 1
+            yield pending
+            return encoded_cid in self._chunks
+        done = self.env.event()
+        self._pull_inflight[encoded_cid] = done
+        try:
+            blob = yield from self.server.call(
+                self.node,
+                "get_chunk",
+                self.dataset,
+                encoded_cid,
+                response_bytes=None,  # sized from the returned bytes
+            )
+            if self.node.memory.level < len(blob):
+                self.stats.skipped_no_memory += 1
+                return False
+            yield self.node.memory.get(len(blob))
+            chunk = Chunk.decode(blob)
+            self._chunks[encoded_cid] = chunk
+            self._chunk_bytes[encoded_cid] = len(blob)
+            self.stats.chunks_loaded += 1
+            self.stats.bytes_cached += len(blob)
+            return True
+        finally:
+            del self._pull_inflight[encoded_cid]
+            done.succeed()
 
     def _note_pull_inflight(self, n: int) -> None:
         if n > self.stats.pull_inflight_hwm:
@@ -253,11 +329,20 @@ class TaskCache:
         calibration: Calibration = DEFAULT,
         fallback_to_server: bool = True,
         warmup_fanout: int = 1,
+        placement: str = "hash",
+        locality_spill_ratio: float = 0.9,
+        hot_chunk_threshold: int = 0,
     ) -> None:
         if not clients:
             raise DieselError("a task cache needs at least one client")
         if policy not in ("oneshot", "on-demand"):
             raise DieselError(f"unknown cache policy {policy!r}")
+        if placement not in ("hash", "locality"):
+            raise DieselError(f"unknown cache placement {placement!r}")
+        if not 0.0 < locality_spill_ratio <= 1.0:
+            raise DieselError("locality_spill_ratio must be in (0, 1]")
+        if hot_chunk_threshold < 0:
+            raise DieselError("hot_chunk_threshold must be >= 0")
         if warmup_fanout < 1:
             raise DieselError("warmup_fanout must be >= 1")
         names = [c.name for c in clients]
@@ -268,6 +353,13 @@ class TaskCache:
         self.server = server
         self.dataset = dataset
         self.policy = policy
+        #: Chunk-placement policy: ``hash`` (round-robin ring) or
+        #: ``locality`` (co-located contiguous slices, ring spill).
+        self.placement = placement
+        self.locality_spill_ratio = locality_spill_ratio
+        #: Remote reads of one chunk from one node before it is
+        #: replicated onto that node's master (0 = off).
+        self.hot_chunk_threshold = hot_chunk_threshold
         self.cal = calibration
         self.fallback_to_server = fallback_to_server
         #: Per-master chunk-pull concurrency for warmup and recovery
@@ -294,12 +386,35 @@ class TaskCache:
         #: Reads served by the server because the owning peer failed
         #: mid-call or its breaker was open (Fig 4 fall-through).
         self.degraded_reads = 0
+        #: Cache hits served from the reader's own node's master (memory
+        #: copy, no RPC) vs hits that paid the one-hop peer fetch.
+        self.local_hits = 0
+        self.remote_hits = 0
+        #: Remote-read tallies per (encoded cid, reader node) feeding
+        #: hot-chunk replication, and the replication kicks in flight.
+        self._remote_reads: Dict[tuple, int] = {}
+        self._replicating: set = set()
         #: On-demand background pulls dropped because the master died.
         self.dropped_pulls = 0
         #: Which layer served the most recent read_file — published for
         #: the client's span attribution (only updated while a recorder
         #: is attached, so the bare hot path stays untouched).
         self.last_resolution = "task_cache"
+
+    @property
+    def stats(self) -> TaskCacheStats:
+        """Aggregated locality counters (plugs into ``stats_row``)."""
+        return TaskCacheStats(
+            local_hits=self.local_hits,
+            remote_hits=self.remote_hits,
+            degraded_reads=self.degraded_reads,
+            coalesced_pulls=sum(
+                m.stats.coalesced_pulls for m in self.masters.values()
+            ),
+            replicated_chunks=sum(
+                m.stats.replicated_chunks for m in self.masters.values()
+            ),
+        )
 
     @property
     def recorder(self):
@@ -387,12 +502,19 @@ class TaskCache:
                 master.recorder = self._recorder
                 master.endpoint.recorder = self._recorder
             self.masters[node_name] = master
-        # Deterministic chunk partitioning: round-robin over sorted masters.
+        # Deterministic chunk partitioning over sorted masters.
         master_list = [self.masters[k] for k in sorted(self.masters)]
-        for i, encoded_cid in enumerate(summary["chunk_ids"]):
-            owner = master_list[i % len(master_list)]
-            owner.assigned.append(encoded_cid)
-            self._owner_of[encoded_cid] = owner
+        chunk_ids = summary["chunk_ids"]
+        if self.placement == "locality":
+            self._partition_locality(
+                chunk_ids, master_list, summary.get("chunk_sizes") or {}
+            )
+        else:
+            # hash: round-robin ring (the consistent-hash spread).
+            for i, encoded_cid in enumerate(chunk_ids):
+                owner = master_list[i % len(master_list)]
+                owner.assigned.append(encoded_cid)
+                self._owner_of[encoded_cid] = owner
         # Every client connects to every master: p×(n−1) connections.
         for c in self.clients:
             for m in master_list:
@@ -406,6 +528,69 @@ class TaskCache:
                 self._prefetch_procs.append(proc)
         self._registered = True
         return summary
+
+    def _partition_locality(
+        self,
+        chunk_ids: Sequence[str],
+        master_list: Sequence[CacheMaster],
+        chunk_sizes: Dict[str, int],
+    ) -> None:
+        """Locality placement: contiguous slices with capacity-aware spill.
+
+        Master *k* owns slice *k* of the chunk list, so each node's
+        partition forms one owner bucket the owner-bucketed shuffle and
+        the affinity scheduler keep aligned with the co-located worker.
+        A node only takes chunks up to ``locality_spill_ratio`` of its
+        free memory (budgeted in bytes via the registration summary's
+        chunk sizes); overflow spills deterministically round-robin over
+        the ring, to the first node with budget left.  When every budget
+        is exhausted the plain ring assignment applies — memory pressure
+        is then handled at pull time (``skipped_no_memory``, §4.2).
+        """
+        p = len(master_list)
+        budgets = [
+            int(m.node.memory.level * self.locality_spill_ratio)
+            for m in master_list
+        ]
+        fills = [0] * p
+        per_slice = -(-len(chunk_ids) // p)  # ceil division
+
+        def assign(k: int, encoded_cid: str) -> None:
+            fills[k] += chunk_sizes.get(encoded_cid, 0)
+            master_list[k].assigned.append(encoded_cid)
+            self._owner_of[encoded_cid] = master_list[k]
+
+        spilled: list[str] = []
+        for k in range(p):
+            for encoded_cid in chunk_ids[k * per_slice : (k + 1) * per_slice]:
+                size = chunk_sizes.get(encoded_cid, 0)
+                if fills[k] + size > budgets[k]:
+                    spilled.append(encoded_cid)
+                else:
+                    assign(k, encoded_cid)
+        for i, encoded_cid in enumerate(spilled):
+            size = chunk_sizes.get(encoded_cid, 0)
+            k = next(
+                (
+                    (i + j) % p
+                    for j in range(p)
+                    if fills[(i + j) % p] + size <= budgets[(i + j) % p]
+                ),
+                i % p,
+            )
+            assign(k, encoded_cid)
+
+    def chunk_owner_node(self, chunk_id) -> Optional[str]:
+        """Name of the node whose master owns ``chunk_id`` (or ``None``).
+
+        Accepts a :class:`~repro.util.ids.ChunkId` or its encoded form —
+        this is the ``owner_of`` hook the owner-bucketed shuffle
+        (:func:`repro.core.shuffle.chunkwise_shuffle`) and the affinity
+        scheduler consume.
+        """
+        encoded = chunk_id if isinstance(chunk_id, str) else chunk_id.encode()
+        master = self._owner_of.get(encoded)
+        return master.node.name if master is not None else None
 
     def wait_warm(self) -> Generator[Event, Any, int]:
         """Block until all oneshot prefetches finish; returns chunks loaded."""
@@ -461,6 +646,32 @@ class TaskCache:
         t0 = self.env.now if rec is not None else 0.0
         encoded_cid = record.chunk_id.encode()
         master = self.owner_of(encoded_cid)
+        # Node-local fast path: the reader's own master holds the chunk
+        # (its locality partition, or a hot-chunk replica) — serve it as
+        # an intra-node memory copy, no RPC hop at all.
+        local = self.masters.get(client.node.name)
+        serving = master
+        if (
+            local is not None
+            and local is not master
+            and local.up
+            and local.has_chunk(encoded_cid)
+        ):
+            serving = local
+        if serving.node is client.node and serving.up:
+            payload = serving.local_payload(encoded_cid, record.path)
+            if payload is not None:
+                self.local_hits += 1
+                yield self.env.timeout(
+                    self.fabric.local_latency_s
+                    + len(payload) / self.fabric.local_bandwidth_bps
+                )
+                if rec is not None:
+                    self.last_resolution = "local_master"
+                    rec.record("cache_read", "local_master",
+                               self.env.now - t0, actor=client.name,
+                               path=record.path)
+                return payload
         payload = None
         peer_answered = False
         if master.up:
@@ -508,6 +719,11 @@ class TaskCache:
                 raise CachePeerDownError(master.client.name)
         if peer_answered:
             if payload is not None:
+                if master.node is client.node:
+                    self.local_hits += 1
+                else:
+                    self.remote_hits += 1
+                    self._note_remote_read(client, master, encoded_cid)
                 if rec is not None:
                     self.last_resolution = "task_cache"
                     rec.record("cache_read", "task_cache",
@@ -554,6 +770,59 @@ class TaskCache:
             if rec is not None:
                 rec.count("ft_dropped_pull", "task_cache")
 
+    # ------------------------------------------------- hot-chunk replication
+    def _note_remote_read(
+        self, client: CacheClient, master: CacheMaster, encoded_cid: str
+    ) -> None:
+        """Tally a cross-node hit; replicate the chunk once it runs hot.
+
+        When one node keeps paying the RPC hop for the same chunk
+        (``hot_chunk_threshold`` remote reads), the chunk is pulled onto
+        that node's master in the background so later reads take the
+        local fast path.  Replicas live in the master's chunk map but
+        not in ``assigned`` — ownership, and therefore recovery, is
+        unchanged.
+        """
+        if self.hot_chunk_threshold <= 0:
+            return
+        local = self.masters.get(client.node.name)
+        if (
+            local is None
+            or local is master
+            or not local.up
+            or local.has_chunk(encoded_cid)
+        ):
+            return
+        key = (encoded_cid, client.node.name)
+        n = self._remote_reads.get(key, 0) + 1
+        self._remote_reads[key] = n
+        if n >= self.hot_chunk_threshold and key not in self._replicating:
+            self._replicating.add(key)
+            self.env.process(
+                self._replicate(local, encoded_cid),
+                name=f"replicate:{encoded_cid[:8]}",
+            )
+
+    def _replicate(
+        self, local: CacheMaster, encoded_cid: str
+    ) -> Generator[Event, Any, None]:
+        """Background pull of a hot chunk onto the reader's master.
+
+        Pure opportunism like :meth:`_background_pull`: failures are
+        dropped (the owner keeps serving), and the single-flight map
+        inside ``_pull_chunk`` already coalesces a concurrent warmup or
+        on-demand fill of the same chunk.
+        """
+        try:
+            cached = yield from local._pull_chunk(encoded_cid)
+        except (NodeDownError, CachePeerDownError, DieselError):
+            return
+        if cached:
+            local.stats.replicated_chunks += 1
+            rec = self._recorder
+            if rec is not None:
+                rec.count("hot_replicate", "task_cache")
+
     # -------------------------------------------------------------- recovery
     def dead_masters(self) -> list[CacheMaster]:
         return [m for m in self.masters.values() if not m.up]
@@ -585,10 +854,27 @@ class TaskCache:
             del self.masters[m.node.name]
             self.connections.drop_endpoint(m.client.name)
         survivors.sort(key=lambda m: m.node.name)
-        for i, encoded_cid in enumerate(orphaned):
-            owner = survivors[i % len(survivors)]
-            owner.assigned.append(encoded_cid)
-            self._owner_of[encoded_cid] = owner
+        if self.placement == "locality":
+            # Policy-preserving re-home: survivors' own partitions are
+            # untouched (their nodes keep reading locally); an orphaned
+            # chunk goes to a survivor already holding a replica of it
+            # when one exists, else deals round-robin over the ring —
+            # the same deterministic spill rule as registration.
+            rr = 0
+            for encoded_cid in orphaned:
+                owner = next(
+                    (m for m in survivors if m.has_chunk(encoded_cid)), None
+                )
+                if owner is None:
+                    owner = survivors[rr % len(survivors)]
+                    rr += 1
+                owner.assigned.append(encoded_cid)
+                self._owner_of[encoded_cid] = owner
+        else:
+            for i, encoded_cid in enumerate(orphaned):
+                owner = survivors[i % len(survivors)]
+                owner.assigned.append(encoded_cid)
+                self._owner_of[encoded_cid] = owner
         rec = self._recorder
         t0 = self.env.now if rec is not None else 0.0
         if limit <= 1:

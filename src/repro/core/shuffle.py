@@ -21,7 +21,8 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from functools import cached_property
+from typing import Callable, Mapping, Optional, Sequence
 
 from repro.util.ids import ChunkId
 
@@ -35,10 +36,17 @@ def full_shuffle(paths: Sequence[str], rng: random.Random) -> list[str]:
 
 @dataclass(frozen=True)
 class ShuffleGroup:
-    """One group of the epoch plan: its chunks and its shuffled files."""
+    """One group of the epoch plan: its chunks and its shuffled files.
+
+    ``owner`` names the cache-master node holding every chunk of the
+    group when the plan was built owner-bucketed (locality placement);
+    ``None`` means the group spans owners (or ownership is unknown) and
+    carries no scheduling affinity.
+    """
 
     chunk_ids: tuple[ChunkId, ...]
     files: tuple[str, ...]
+    owner: Optional[str] = None
 
     def working_set_bytes(self, chunk_sizes: Mapping[ChunkId, int]) -> int:
         return sum(chunk_sizes[c] for c in self.chunk_ids)
@@ -54,8 +62,15 @@ class EpochPlan:
 
     groups: tuple[ShuffleGroup, ...]
 
-    @property
+    @cached_property
     def files(self) -> list[str]:
+        """Flat epoch read order (memoized — built once per plan).
+
+        The dataloader consumes this per batch, so rebuilding the flat
+        list on every access was O(files) work in the hot loop.  The
+        plan is frozen, so the cached list is computed at most once;
+        treat it as read-only.
+        """
         out: list[str] = []
         for g in self.groups:
             out.extend(g.files)
@@ -81,30 +96,92 @@ class EpochPlan:
             return 0
         return max(g.working_set_bytes(chunk_sizes) for g in self.groups)
 
+    def partition(
+        self,
+        n_workers: int,
+        rng: random.Random,
+        affinity: Optional[Mapping[str, int]] = None,
+    ) -> list["EpochPlan"]:
+        """Split the epoch's groups across ``n_workers`` concurrent readers.
+
+        ``affinity`` maps a group owner (cache-master node name) to a
+        worker index: owned groups are pinned to that worker, so under
+        locality placement each worker reads the chunks its own node's
+        master holds.  Groups without a mapped owner are dealt to the
+        least-loaded worker (by file count, deterministic tie-break).
+        Every worker's group order is then permuted with ``rng`` — the
+        per-epoch randomness that keeps the Fig 13 shuffle contract even
+        though the group→worker mapping is ownership-driven.
+        """
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        affinity = affinity or {}
+        shards: list[list[ShuffleGroup]] = [[] for _ in range(n_workers)]
+        loads = [0] * n_workers
+        for g in self.groups:
+            w = affinity.get(g.owner) if g.owner is not None else None
+            if w is None or not 0 <= w < n_workers:
+                w = min(range(n_workers), key=lambda i: (loads[i], i))
+            shards[w].append(g)
+            loads[w] += len(g.files)
+        for shard in shards:
+            rng.shuffle(shard)
+        return [EpochPlan(tuple(shard)) for shard in shards]
+
 
 def chunkwise_shuffle(
     files_by_chunk: Mapping[ChunkId, Sequence[str]],
     group_size: int,
     rng: random.Random,
+    owner_of: Optional[Callable[[ChunkId], Optional[str]]] = None,
 ) -> EpochPlan:
     """Generate one epoch's chunk-wise shuffled order (Fig 8).
 
     ``files_by_chunk`` maps each chunk to its *live* file paths (deleted
     files excluded by the caller).  Chunks with no live files are skipped.
+
+    ``owner_of`` (locality placement) maps a chunk to the cache-master
+    node holding it.  When given, step 1 shuffles chunk IDs *within each
+    owner's bucket* so every group's chunks share one owner (recorded as
+    :attr:`ShuffleGroup.owner`), and the global group order is shuffled
+    afterwards.  File order within groups and group order across the
+    epoch stay random — only the group↔owner alignment is constrained,
+    which is what lets the affinity scheduler land each group's reads on
+    its local master.
     """
     if group_size < 1:
         raise ValueError("group_size must be >= 1")
     chunk_ids = [cid for cid, files in files_by_chunk.items() if files]
     chunk_ids.sort()  # deterministic base order before shuffling
-    rng.shuffle(chunk_ids)  # step 1: shuffle chunk IDs
+    if owner_of is None:
+        rng.shuffle(chunk_ids)  # step 1: shuffle chunk IDs
+        buckets = [(None, chunk_ids)]
+    else:
+        by_owner: dict[Optional[str], list[ChunkId]] = {}
+        for cid in chunk_ids:
+            by_owner.setdefault(owner_of(cid), []).append(cid)
+        # Deterministic bucket order (None last), shuffled within.
+        keys = sorted((k for k in by_owner if k is not None))
+        if None in by_owner:
+            keys.append(None)
+        buckets = []
+        for key in keys:
+            bucket = by_owner[key]
+            rng.shuffle(bucket)  # step 1, per owner
+            buckets.append((key, bucket))
     groups: list[ShuffleGroup] = []
-    for start in range(0, len(chunk_ids), group_size):  # step 2: split
-        group_chunks = chunk_ids[start : start + group_size]
-        pooled: list[str] = []
-        for cid in group_chunks:
-            pooled.extend(files_by_chunk[cid])
-        rng.shuffle(pooled)  # step 3: shuffle files within the group
-        groups.append(ShuffleGroup(tuple(group_chunks), tuple(pooled)))
+    for owner, bucket in buckets:
+        for start in range(0, len(bucket), group_size):  # step 2: split
+            group_chunks = bucket[start : start + group_size]
+            pooled: list[str] = []
+            for cid in group_chunks:
+                pooled.extend(files_by_chunk[cid])
+            rng.shuffle(pooled)  # step 3: shuffle files within the group
+            groups.append(
+                ShuffleGroup(tuple(group_chunks), tuple(pooled), owner)
+            )
+    if owner_of is not None:
+        rng.shuffle(groups)  # owner buckets must not imply epoch order
     return EpochPlan(tuple(groups))
 
 

@@ -19,9 +19,11 @@ It reports both the stall (time the consumer waited) and the fetch time
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
-from typing import Any, Generator, List, Optional, Tuple
+from typing import Any, Dict, Generator, List, Mapping, Optional, Sequence, Tuple
 
+from repro.core.shuffle import EpochPlan, chunkwise_shuffle
 from repro.errors import DieselError
 from repro.sim.engine import Environment, Event
 from repro.sim.resources import Store
@@ -61,6 +63,80 @@ class LoaderStats:
 
     def mean_fetch(self) -> float:
         return self.total_fetch_s / self.batches if self.batches else 0.0
+
+
+class EpochScheduler:
+    """Task-wide affinity epoch scheduler (§4.3 meets §4.2 placement).
+
+    A multi-worker task draws **one** chunk-wise plan per epoch and
+    splits it into per-worker shards.  With a locality-placed
+    :class:`~repro.core.dist_cache.TaskCache` attached, the plan is
+    owner-bucketed and each shuffle group is pinned to the worker
+    co-located with the master owning its chunks — so steady-state
+    reads are node-local memory copies — while the group order inside
+    every shard is still permuted per epoch (the Fig 13 shuffle
+    contract).  Without a cache (or under hash placement) shards are
+    dealt least-loaded, reproducing a plain balanced split.
+
+    Shards are built lazily per epoch and cached, so workers may call
+    :meth:`shard` out of order; ``worker_nodes[i]`` names the node
+    worker *i* runs on (the affinity key).
+    """
+
+    def __init__(
+        self,
+        files_by_chunk: Mapping,
+        group_size: int,
+        worker_nodes: Sequence[str],
+        cache=None,
+        seed: int = 0,
+    ) -> None:
+        if group_size < 1:
+            raise DieselError("group_size must be >= 1")
+        if not worker_nodes:
+            raise DieselError("need at least one worker node")
+        self._files_by_chunk = dict(files_by_chunk)
+        self._group_size = group_size
+        self._worker_nodes = list(worker_nodes)
+        self._cache = cache
+        self._seed = seed
+        self._shards: Dict[int, List[EpochPlan]] = {}
+
+    @property
+    def n_workers(self) -> int:
+        return len(self._worker_nodes)
+
+    def affinity(self) -> Dict[str, int]:
+        """Owner-node → worker-index map for ``EpochPlan.partition``."""
+        return {name: i for i, name in enumerate(self._worker_nodes)}
+
+    def shard(self, epoch: int, worker: int) -> EpochPlan:
+        """This worker's slice of the epoch's shared plan."""
+        if not 0 <= worker < self.n_workers:
+            raise DieselError(f"worker index {worker} out of range")
+        if epoch not in self._shards:
+            self._shards[epoch] = self._build(epoch)
+            # Bound memory: workers only ever straddle two epochs.
+            for old in [e for e in self._shards if e < epoch - 1]:
+                del self._shards[old]
+        return self._shards[epoch][worker]
+
+    def _build(self, epoch: int) -> List[EpochPlan]:
+        # Seed mixing mirrors DieselClient._epoch_seed: the epoch
+        # sequence is reproducible, successive epochs differ.
+        rng = random.Random(hash((self._seed, epoch)))
+        owner_of = None
+        affinity = None
+        if (
+            self._cache is not None
+            and getattr(self._cache, "placement", "hash") == "locality"
+        ):
+            owner_of = self._cache.chunk_owner_node
+            affinity = self.affinity()
+        plan = chunkwise_shuffle(
+            self._files_by_chunk, self._group_size, rng, owner_of=owner_of
+        )
+        return plan.partition(self.n_workers, rng, affinity=affinity)
 
 
 class SimDataLoader:

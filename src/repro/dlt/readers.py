@@ -35,6 +35,39 @@ class EpochReader(Protocol):  # pragma: no cover - typing aid
     def read(self, path: str) -> Generator[Event, Any, bytes]: ...
 
 
+class CacheReader:
+    """One task worker reading through the distributed task cache (§4.2).
+
+    Epoch order comes from the shared
+    :class:`~repro.dlt.dataloader.EpochScheduler` — this worker's shard
+    of the task-wide plan, affinity-pinned to the co-located cache
+    master under locality placement.  Each read resolves through
+    :meth:`TaskCache.read_file`: local master (memory copy), one-hop
+    peer fetch, or the Fig 4 server fall-through.
+    """
+
+    def __init__(self, scheduler, cache, cache_client, index, worker: int):
+        self.scheduler = scheduler
+        self.cache = cache
+        self.cache_client = cache_client
+        self.index = index
+        self.worker = worker
+        #: Shard served by the most recent ``begin_epoch`` (for tests
+        #: and working-set accounting).
+        self.last_plan = None
+
+    def begin_epoch(self, epoch: int) -> Generator[Event, Any, list[str]]:
+        plan = self.scheduler.shard(epoch, self.worker)
+        self.last_plan = plan
+        yield self.cache.env.timeout(plan.file_count * SHUFFLE_PER_FILE_S)
+        return plan.files
+
+    def read(self, path: str) -> Generator[Event, Any, bytes]:
+        record = self.index.lookup(path)
+        data = yield from self.cache.read_file(self.cache_client, record)
+        return data
+
+
 class LustreReader:
     """Reads straight from the Lustre baseline with full dataset shuffle."""
 

@@ -12,7 +12,7 @@ first iteration where the shuffle + cold pipeline cannot be hidden.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Generator, List
+from typing import Any, Generator, List, Sequence
 
 from repro.calibration import ModelProfile
 from repro.sim.engine import Environment, Event
@@ -141,3 +141,41 @@ def run_training(
         yield env.all_of(workers)
         result.epoch_walls.append(env.now - epoch_start)
     return result
+
+
+def run_task_training(
+    env: Environment,
+    readers: Sequence,
+    model: ModelProfile,
+    epochs: int,
+    batch_size: int,
+    io_workers: int = 1,
+    prefetch_depth: int = 2,
+    model_name: str | None = None,
+) -> Generator[Event, Any, List[TrainingResult]]:
+    """Run one pipelined training job per task worker, concurrently.
+
+    The multi-worker execution model behind affinity epoch scheduling:
+    each reader (typically a :class:`~repro.dlt.readers.CacheReader`
+    bound to one worker's shard of the shared
+    :class:`~repro.dlt.dataloader.EpochScheduler` plan) drives its own
+    :func:`run_training` loop; all workers advance in parallel in
+    simulated time.  Returns the per-worker results in reader order.
+    """
+    if not readers:
+        raise ValueError("need at least one reader")
+    procs = [
+        env.process(
+            run_training(
+                env, reader, model, epochs, batch_size,
+                io_workers, prefetch_depth, model_name,
+            ),
+            name=f"task-train{w}",
+        )
+        for w, reader in enumerate(readers)
+    ]
+    results: List[TrainingResult] = []
+    for proc in procs:
+        res = yield proc
+        results.append(res)
+    return results

@@ -21,6 +21,7 @@ Subcommands::
     dlcmd stats                                   per-layer read latency
     dlcmd trace <local-file>                      chrome://tracing dump
     dlcmd verify                                  metadata vs chunks check
+    dlcmd locality                                placement probe summary
 
 Every data-mutating command rewrites the workspace file.
 
@@ -119,6 +120,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "verify",
         help="cross-check KV metadata against the dataset's chunks "
              "(the post-rebuild consistency check of docs/FAULTS.md)",
+    )
+
+    p = sub.add_parser(
+        "locality",
+        help="hash-vs-locality placement probe: local-hit fraction and "
+             "epoch read time over simulated task nodes",
+    )
+    p.add_argument(
+        "-N", "--nodes", type=int, default=2,
+        help="simulated task nodes (one cache master each) for the "
+             "probe (default: %(default)s)",
     )
     return parser
 
@@ -244,9 +256,108 @@ def _traced_sample_reads(ws: DieselWorkspace, dataset: str, limit: int):
     return recorder
 
 
+def _locality_probe(
+    ws: DieselWorkspace, dataset: str, n_nodes: int, placement: str, tag: str
+):
+    """Run one affinity-scheduled epoch over an ephemeral task cache.
+
+    Spins up ``n_nodes`` simulated task nodes on the workspace fabric,
+    elects one cache master per node (``placement`` policy), warms the
+    cache, and has each node's worker read its shard of an
+    owner-aligned epoch plan.  Returns ``(cache, elapsed_s, files)``;
+    nothing about the workspace is mutated.
+    """
+    from repro.cluster.node import Node
+    from repro.core.dist_cache import CacheClient, TaskCache
+    from repro.dlt.dataloader import EpochScheduler
+
+    if n_nodes < 1:
+        raise ReproError("--nodes must be >= 1")
+    sync = ws.client(dataset)
+    index = sync.load_meta(sync.save_meta())
+    if not index.all_paths():
+        raise ReproError(f"dataset {dataset!r} has no files to probe")
+    env, fabric = ws.tb.env, ws.tb.fabric
+    nodes = [
+        fabric.add_node(Node(env, f"{tag}-{placement}-n{i}"))
+        for i in range(n_nodes)
+    ]
+    cache = TaskCache(
+        env, fabric, ws.server, dataset,
+        [
+            CacheClient(f"{tag}-{placement}-c{i}", nodes[i], i)
+            for i in range(n_nodes)
+        ],
+        policy="oneshot", placement=placement,
+    )
+
+    def run(gen):
+        proc = env.process(gen)
+        return env.run(until=proc)
+
+    run(cache.register())
+    run(cache.wait_warm())
+    files_by_chunk = index.files_by_chunk()
+    # ~4 groups per worker so hash placement still gets a balanced deal.
+    group_size = max(1, -(-len(files_by_chunk) // (4 * n_nodes)))
+    scheduler = EpochScheduler(
+        files_by_chunk, group_size, [n.name for n in nodes],
+        cache=cache, seed=0,
+    )
+
+    def worker(w, cc):
+        shard = scheduler.shard(0, w)
+        for path in shard.files:
+            yield from cache.read_file(cc, index.lookup(path))
+
+    t0 = env.now
+    procs = [
+        env.process(worker(w, c), name=f"{tag}-{placement}-w{w}")
+        for w, c in enumerate(cache.clients)
+    ]
+    env.run(until=env.all_of(procs))
+    return cache, env.now - t0, index.file_count
+
+
+def _locality_counters(cache) -> str:
+    s = cache.stats
+    return (
+        f"local_hits {s.local_hits}  remote_hits {s.remote_hits}  "
+        f"coalesced_pulls {s.coalesced_pulls}  "
+        f"replicated_chunks {s.replicated_chunks}"
+    )
+
+
 def cmd_stats(ws: DieselWorkspace, dataset: str, args) -> str:
     recorder = _traced_sample_reads(ws, dataset, args.sample)
-    return recorder.summary()
+    cache, _, _ = _locality_probe(ws, dataset, 2, "locality", "stats")
+    return (
+        recorder.summary()
+        + "\n\ntask cache locality (2-node probe, placement=locality):\n  "
+        + _locality_counters(cache)
+    )
+
+
+def cmd_locality(ws: DieselWorkspace, dataset: str, args) -> str:
+    """Compare hash vs locality placement on an ephemeral task cache."""
+    lines = [f"placement probe: {args.nodes} task node(s), dataset {dataset!r}"]
+    for placement in ("hash", "locality"):
+        cache, elapsed, files = _locality_probe(
+            ws, dataset, args.nodes, placement, "loc"
+        )
+        s = cache.stats
+        served = s.local_hits + s.remote_hits
+        frac = s.local_hits / served if served else 0.0
+        masters = ", ".join(
+            f"{name}:{len(m.assigned)}" for name, m in sorted(cache.masters.items())
+        )
+        lines.append(
+            f"{placement:>9}: local {frac:.0%} ({s.local_hits}/{served}), "
+            f"epoch read {elapsed * 1e3:.3f}ms over {files} file(s)"
+        )
+        lines.append(f"           {_locality_counters(cache)}")
+        lines.append(f"           chunks per master: {masters}")
+    return "\n".join(lines)
 
 
 def cmd_trace(ws: DieselWorkspace, dataset: str, args) -> str:
@@ -299,6 +410,7 @@ _COMMANDS = {
     "stats": (cmd_stats, False),
     "trace": (cmd_trace, False),
     "verify": (cmd_verify, False),
+    "locality": (cmd_locality, False),
 }
 
 

@@ -190,3 +190,95 @@ class TestChunkAdjacency:
     def test_short_orders(self):
         data = make_dataset(n_chunks=1, files_per_chunk=1)
         assert chunk_adjacency(list(data.values())[0], data) == 0.0
+
+
+class TestMemoizedFiles:
+    def test_files_built_once(self):
+        data = make_dataset(n_chunks=5)
+        plan = chunkwise_shuffle(data, 2, random.Random(0))
+        assert plan.files is plan.files  # cached_property: same object
+
+    def test_memoized_list_matches_groups(self):
+        data = make_dataset(n_chunks=5)
+        plan = chunkwise_shuffle(data, 2, random.Random(0))
+        assert plan.files == [f for g in plan.groups for f in g.files]
+
+
+class TestOwnerBucketedShuffle:
+    def owner_of(self, cid):
+        # Deterministic 2-node ownership by chunk id parity.
+        return f"node{int(cid.encode()[-1], 32) % 2}"
+
+    def test_groups_are_single_owner(self):
+        data = make_dataset(n_chunks=12, files_per_chunk=4)
+        plan = chunkwise_shuffle(data, 3, random.Random(0),
+                                 owner_of=self.owner_of)
+        for g in plan.groups:
+            owners = {self.owner_of(c) for c in g.chunk_ids}
+            assert owners == {g.owner}
+
+    def test_still_a_permutation(self):
+        data = make_dataset(n_chunks=12, files_per_chunk=4)
+        plan = chunkwise_shuffle(data, 3, random.Random(0),
+                                 owner_of=self.owner_of)
+        assert sorted(plan.files) == sorted(
+            f for files in data.values() for f in files
+        )
+
+    def test_unknown_owner_groups_carry_none(self):
+        data = make_dataset(n_chunks=6, files_per_chunk=2)
+        plan = chunkwise_shuffle(data, 2, random.Random(0),
+                                 owner_of=lambda cid: None)
+        assert all(g.owner is None for g in plan.groups)
+
+    def test_without_owner_hook_groups_have_no_owner(self):
+        data = make_dataset(n_chunks=6, files_per_chunk=2)
+        plan = chunkwise_shuffle(data, 2, random.Random(0))
+        assert all(g.owner is None for g in plan.groups)
+
+    def test_epochs_differ_under_bucketing(self):
+        data = make_dataset(n_chunks=12, files_per_chunk=4)
+        p1 = chunkwise_shuffle(data, 3, random.Random(1),
+                               owner_of=self.owner_of).files
+        p2 = chunkwise_shuffle(data, 3, random.Random(2),
+                               owner_of=self.owner_of).files
+        assert p1 != p2
+
+
+class TestPartition:
+    def test_affinity_pins_owned_groups(self):
+        owner_of = TestOwnerBucketedShuffle().owner_of
+        data = make_dataset(n_chunks=12, files_per_chunk=4)
+        plan = chunkwise_shuffle(data, 3, random.Random(0), owner_of=owner_of)
+        affinity = {"node0": 0, "node1": 1}
+        shards = plan.partition(2, random.Random(0), affinity=affinity)
+        for w, shard in enumerate(shards):
+            for g in shard.groups:
+                assert affinity[g.owner] == w
+
+    def test_partition_is_a_partition(self):
+        data = make_dataset(n_chunks=10, files_per_chunk=5)
+        plan = chunkwise_shuffle(data, 2, random.Random(0))
+        shards = plan.partition(3, random.Random(0))
+        spread = [f for s in shards for f in s.files]
+        assert sorted(spread) == sorted(plan.files)
+
+    def test_unowned_groups_deal_least_loaded(self):
+        data = make_dataset(n_chunks=9, files_per_chunk=4)
+        plan = chunkwise_shuffle(data, 1, random.Random(0))
+        shards = plan.partition(3, random.Random(0))
+        counts = sorted(s.file_count for s in shards)
+        assert counts[-1] - counts[0] <= 4  # one group's worth
+
+    def test_shard_order_permuted_per_rng(self):
+        data = make_dataset(n_chunks=30, files_per_chunk=4)
+        plan = chunkwise_shuffle(data, 1, random.Random(0))
+        s1 = plan.partition(2, random.Random(1))[0].files
+        s2 = plan.partition(2, random.Random(2))[0].files
+        assert sorted(s1) == sorted(s2)
+        assert s1 != s2
+
+    def test_validation(self):
+        plan = chunkwise_shuffle(make_dataset(), 2, random.Random(0))
+        with pytest.raises(ValueError):
+            plan.partition(0, random.Random(0))

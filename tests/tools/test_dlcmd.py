@@ -143,3 +143,25 @@ class TestDlcmd:
     def test_verify_empty_dataset_errors(self, tmp_path, capsys):
         assert run(tmp_path, "verify") == 1
         assert "no such dataset" in capsys.readouterr().err
+
+    def test_locality_compares_placements(self, tmp_path, local_tree, capsys):
+        run(tmp_path, "put", str(local_tree), "/t")
+        capsys.readouterr()
+        assert run(tmp_path, "locality", "-N", "2") == 0
+        out = capsys.readouterr().out
+        assert "placement probe: 2 task node(s)" in out
+        assert "hash:" in out and "locality:" in out
+        assert "local_hits" in out and "coalesced_pulls" in out
+        assert "chunks per master:" in out
+
+    def test_locality_empty_dataset_errors(self, tmp_path, capsys):
+        assert run(tmp_path, "locality") == 1
+        assert "no such dataset" in capsys.readouterr().err
+
+    def test_stats_includes_locality_counters(self, tmp_path, local_tree, capsys):
+        run(tmp_path, "put", str(local_tree), "/t")
+        capsys.readouterr()
+        assert run(tmp_path, "stats", "-n", "2") == 0
+        out = capsys.readouterr().out
+        assert "task cache locality" in out
+        assert "local_hits" in out and "replicated_chunks" in out
