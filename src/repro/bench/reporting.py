@@ -67,6 +67,14 @@ def format_result(result: ExperimentResult) -> str:
         parts.append(f"note: {note}")
     if result.wall_seconds:
         parts.append(f"(ran in {result.wall_seconds:.2f}s wall)")
+    if result.engine:
+        e = result.engine
+        parts.append(
+            f"(engine: {e.get('sim_events', 0):,} events @ "
+            f"{e.get('events_per_sec', 0.0):,.0f}/s, "
+            f"peak occupancy {e.get('peak_occupancy', 0):,}, "
+            f"scheduler {e.get('scheduler', '?')})"
+        )
     return "\n".join(parts)
 
 
@@ -78,6 +86,10 @@ def result_to_dict(result: ExperimentResult) -> Dict[str, Any]:
         "rows": result.rows,
         "notes": result.notes,
         "wall_seconds": result.wall_seconds,
+        # Engine throughput (events_per_sec, peak scheduler occupancy)
+        # for the environments the experiment ran — every BENCH_*.json
+        # records how hard the DES kernel worked to produce it.
+        "engine": result.engine,
     }
 
 

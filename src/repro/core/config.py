@@ -60,6 +60,17 @@ class DieselConfig:
     #: recovery; all masters always stream concurrently, this bounds the
     #: per-master overlap (Fig 11b).  1 = serial per-master stream.
     warmup_fanout: int = 1
+    #: Chunk pulls admitted per vectorized server call during oneshot
+    #: warmup and recovery (``DieselServer.call_batch``): one scheduler
+    #: entry per batch instead of per chunk.  1 = one RPC per chunk
+    #: (legacy per-request admission).
+    admission_batch: int = 1
+    #: Discrete-event scheduler backing the simulation Environment:
+    #: 'calendar' (calendar-queue/timer-wheel, near-O(1) under the
+    #: fabric's bimodal delays) or 'heap' (flat binary heap baseline
+    #: kept for A/B testing).  Same-tick FIFO order is identical under
+    #: both.
+    sim_scheduler: str = "calendar"
     #: Failure-detector probe period (seconds of simulated time).  Each
     #: watched peer is probed once per interval.
     heartbeat_interval_s: float = 0.05
@@ -107,6 +118,10 @@ class DieselConfig:
             raise ValueError("read_fanout must be >= 1")
         if self.warmup_fanout < 1:
             raise ValueError("warmup_fanout must be >= 1")
+        if self.admission_batch < 1:
+            raise ValueError("admission_batch must be >= 1")
+        if self.sim_scheduler not in ("calendar", "heap"):
+            raise ValueError(f"unknown sim scheduler: {self.sim_scheduler!r}")
         if self.heartbeat_interval_s <= 0:
             raise ValueError("heartbeat_interval_s must be positive")
         if self.failure_timeout_s <= self.heartbeat_interval_s:

@@ -33,7 +33,7 @@ Each DLT task caches *its own* dataset across *its own* worker nodes:
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
-from typing import Any, Dict, Generator, List, Optional, Sequence
+from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro.calibration import Calibration, DEFAULT
 from repro.core.meta import FileRecord
@@ -236,6 +236,67 @@ class CacheMaster:
             del self._pull_inflight[encoded_cid]
             done.succeed()
 
+    def _pull_chunks_batched(
+        self, cids: Sequence[str]
+    ) -> Generator[Event, Any, int]:
+        """Pull a group of chunks with one vectorized server admission.
+
+        The whole group rides a single :meth:`DieselServer.call_batch`
+        — one scheduler entry per RPC phase for the batch instead of
+        per chunk — while keeping :meth:`_pull_chunk` semantics: the
+        single-flight map still coalesces concurrent pulls per chunk,
+        memory-skipped chunks stay server-resident, and the same stats
+        counters move.  Returns how many of ``cids`` are now cached.
+        """
+        cached = 0
+        fetch: List[str] = []
+        dones: List[Event] = []
+        waits: List[Tuple[str, Event]] = []
+        for cid in cids:
+            if cid in self._chunks:
+                cached += 1
+                continue
+            pending = self._pull_inflight.get(cid)
+            if pending is not None:
+                self.stats.coalesced_pulls += 1
+                waits.append((cid, pending))
+                continue
+            done = self.env.event()
+            self._pull_inflight[cid] = done
+            fetch.append(cid)
+            dones.append(done)
+        try:
+            if fetch:
+                blobs = yield from self.server.call_batch(
+                    self.node,
+                    [("get_chunk", self.dataset, cid) for cid in fetch],
+                )
+                for cid, blob in zip(fetch, blobs):
+                    if self.node.memory.level < len(blob):
+                        self.stats.skipped_no_memory += 1
+                        continue
+                    yield self.node.memory.get(len(blob))
+                    self._chunks[cid] = Chunk.decode(blob)
+                    self._chunk_bytes[cid] = len(blob)
+                    self.stats.chunks_loaded += 1
+                    self.stats.bytes_cached += len(blob)
+                    cached += 1
+        finally:
+            for cid, done in zip(fetch, dones):
+                del self._pull_inflight[cid]
+                done.succeed()
+        for cid, pending in waits:
+            yield pending
+            cached += cid in self._chunks
+        return cached
+
+    def _pull_group(self, cids: Sequence[str]) -> Generator[Event, Any, int]:
+        """One fan-out worker over a chunk group (see ``_pull_one``)."""
+        if not self.node.alive:
+            return 0
+        cached = yield from self._pull_chunks_batched(cids)
+        return cached
+
     def _note_pull_inflight(self, n: int) -> None:
         if n > self.stats.pull_inflight_hwm:
             self.stats.pull_inflight_hwm = n
@@ -247,60 +308,82 @@ class CacheMaster:
         cached = yield from self._pull_chunk(encoded_cid)
         return cached
 
-    def prefetch_all(self, fanout: int = 1) -> Generator[Event, Any, int]:
+    def _stream(
+        self, cids: Sequence[str], fanout: int, batch: int, name: str
+    ) -> Generator[Event, Any, int]:
+        """Pull ``cids`` with ``fanout`` concurrent streams of batches of
+        ``batch`` chunks — the shared engine behind warmup and recovery.
+
+        ``fanout=1, batch=1`` is the legacy serial chunk-by-chunk
+        stream; ``batch>1`` admits each group as one vectorized server
+        call (:meth:`_pull_chunks_batched`).
+        """
+        if batch <= 1:
+            if fanout <= 1:
+                loaded = 0
+                for encoded_cid in cids:
+                    if not self.node.alive:
+                        break
+                    cached = yield from self._pull_chunk(encoded_cid)
+                    loaded += bool(cached)
+                return loaded
+            results = yield from fan_out(
+                self.env,
+                [self._pull_one(cid) for cid in cids],
+                fanout,
+                name=f"{name}:{self.client.name}",
+                watermark=self._note_pull_inflight,
+            )
+            return sum(bool(r) for r in results)
+        groups = [cids[i : i + batch] for i in range(0, len(cids), batch)]
+        if fanout <= 1:
+            loaded = 0
+            for group in groups:
+                if not self.node.alive:
+                    break
+                loaded += yield from self._pull_chunks_batched(group)
+            return loaded
+        results = yield from fan_out(
+            self.env,
+            [self._pull_group(g) for g in groups],
+            fanout,
+            name=f"{name}:{self.client.name}",
+            watermark=self._note_pull_inflight,
+        )
+        return sum(r for r in results if r)
+
+    def prefetch_all(
+        self, fanout: int = 1, batch: int = 1
+    ) -> Generator[Event, Any, int]:
         """Oneshot policy: stream every assigned chunk from the server.
 
         ``fanout`` bounds how many pulls this master keeps in flight
         (``DieselConfig.warmup_fanout``); 1 is the legacy serial stream.
-        Returns the number of chunks actually cached (memory-skipped
-        chunks do not count).
+        ``batch`` groups pulls into vectorized server admissions
+        (``DieselConfig.admission_batch``).  Returns the number of
+        chunks actually cached (memory-skipped chunks do not count).
         """
         rec = self.recorder
         t0 = self.env.now if rec is not None else 0.0
-        if fanout <= 1:
-            loaded = 0
-            for encoded_cid in self.assigned:
-                if not self.node.alive:
-                    break
-                cached = yield from self._pull_chunk(encoded_cid)
-                loaded += bool(cached)
-        else:
-            results = yield from fan_out(
-                self.env,
-                [self._pull_one(cid) for cid in self.assigned],
-                fanout,
-                name=f"warm:{self.client.name}",
-                watermark=self._note_pull_inflight,
-            )
-            loaded = sum(bool(r) for r in results)
+        loaded = yield from self._stream(self.assigned, fanout, batch, "warm")
         if rec is not None:
             rec.record("warmup", "master", self.env.now - t0,
                        actor=self.client.name, chunks=loaded)
         return loaded
 
-    def reload_missing(self, fanout: int = 1) -> Generator[Event, Any, int]:
+    def reload_missing(
+        self, fanout: int = 1, batch: int = 1
+    ) -> Generator[Event, Any, int]:
         """Recovery: pull every assigned chunk not yet resident.
 
-        Same bounded fan-out discipline as :meth:`prefetch_all`; returns
-        the number of chunks actually cached.
+        Same bounded fan-out and batching discipline as
+        :meth:`prefetch_all`; returns the number of chunks actually
+        cached.
         """
         rec = self.recorder
         t0 = self.env.now if rec is not None else 0.0
         missing = [cid for cid in self.assigned if not self.has_chunk(cid)]
-        if fanout <= 1:
-            reloaded = 0
-            for encoded_cid in missing:
-                cached = yield from self._pull_chunk(encoded_cid)
-                reloaded += bool(cached)
-        else:
-            results = yield from fan_out(
-                self.env,
-                [self._pull_one(cid) for cid in missing],
-                fanout,
-                name=f"recover:{self.client.name}",
-                watermark=self._note_pull_inflight,
-            )
-            reloaded = sum(bool(r) for r in results)
+        reloaded = yield from self._stream(missing, fanout, batch, "recover")
         if rec is not None:
             rec.record("recover", "master", self.env.now - t0,
                        actor=self.client.name, chunks=reloaded)
@@ -329,6 +412,7 @@ class TaskCache:
         calibration: Calibration = DEFAULT,
         fallback_to_server: bool = True,
         warmup_fanout: int = 1,
+        admission_batch: int = 1,
         placement: str = "hash",
         locality_spill_ratio: float = 0.9,
         hot_chunk_threshold: int = 0,
@@ -345,6 +429,8 @@ class TaskCache:
             raise DieselError("hot_chunk_threshold must be >= 0")
         if warmup_fanout < 1:
             raise DieselError("warmup_fanout must be >= 1")
+        if admission_batch < 1:
+            raise DieselError("admission_batch must be >= 1")
         names = [c.name for c in clients]
         if len(set(names)) != len(names):
             raise DieselError("client names must be unique")
@@ -366,6 +452,10 @@ class TaskCache:
         #: (``DieselConfig.warmup_fanout``); masters always run
         #: concurrently with each other, this bounds each stream.
         self.warmup_fanout = warmup_fanout
+        #: Chunk pulls admitted per vectorized server call during warmup
+        #: and recovery (``DieselConfig.admission_batch``); 1 = one RPC
+        #: per chunk (legacy).
+        self.admission_batch = admission_batch
         self.clients = list(clients)
         self.connections = ConnectionTable()
         self.masters: Dict[str, CacheMaster] = {}  # node name -> master
@@ -522,7 +612,7 @@ class TaskCache:
         if self.policy == "oneshot":
             for m in master_list:
                 proc = self.env.process(
-                    m.prefetch_all(self.warmup_fanout),
+                    m.prefetch_all(self.warmup_fanout, self.admission_batch),
                     name=f"prefetch:{m.client.name}",
                 )
                 self._prefetch_procs.append(proc)
@@ -877,7 +967,7 @@ class TaskCache:
                 self._owner_of[encoded_cid] = owner
         rec = self._recorder
         t0 = self.env.now if rec is not None else 0.0
-        if limit <= 1:
+        if limit <= 1 and self.admission_batch <= 1:
             # Legacy serial re-stream: survivor after survivor.
             reloaded = 0
             for m in survivors:
@@ -888,7 +978,8 @@ class TaskCache:
         else:
             per_master = yield from fan_out(
                 self.env,
-                [m.reload_missing(limit) for m in survivors],
+                [m.reload_missing(limit, self.admission_batch)
+                 for m in survivors],
                 len(survivors),
                 name="recover",
             )

@@ -198,6 +198,29 @@ class DieselServer:
         ep = self.meta_endpoint if method in _META_METHODS else self.endpoint
         return ep.call(client, method, *args, **kw)
 
+    def call_batch(
+        self, client: Node, calls: Sequence[Tuple], **kw: Any
+    ) -> Generator[Event, Any, List[Any]]:
+        """Vectorized admission: run ``calls`` — ``(method, *args)``
+        tuples — as one batch on the request executor (generator).
+
+        One scheduler entry per arrival batch instead of per request:
+        the batch pays one marshalling charge, one transfer, one pool
+        entry and one aggregated service charge, while each call's
+        handler still runs its full logic in order.  All calls in a
+        batch must route to the same pool, so a batch may not mix
+        metadata and data methods.
+        """
+        if not calls:
+            raise DieselError("call_batch requires at least one call")
+        is_meta = calls[0][0] in _META_METHODS
+        if any((c[0] in _META_METHODS) != is_meta for c in calls):
+            raise DieselError(
+                "call_batch cannot mix metadata and data methods"
+            )
+        ep = self.meta_endpoint if is_meta else self.endpoint
+        return ep.call_batch(client, list(calls), **kw)
+
     # -------------------------------------------------------------- helpers
     def _kv_pipeline_cost(self, n_records: int) -> float:
         """Simulated time for writing ``n_records`` KV pairs, pipelined.

@@ -20,11 +20,12 @@ from repro.sim.engine import Environment, Event
 class Request(Event):
     """A pending or granted claim on one slot of a :class:`Resource`."""
 
-    __slots__ = ("resource", "cancelled")
+    __slots__ = ("resource", "granted", "cancelled")
 
     def __init__(self, env: Environment, resource: "Resource") -> None:
         super().__init__(env)
         self.resource = resource
+        self.granted = False
         self.cancelled = False
 
 
@@ -48,13 +49,16 @@ class Resource:
             raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
         self.env = env
         self.capacity = capacity
-        self._users: set[Request] = set()
+        # Slot accounting mirrors the engine's Semaphore: a held count
+        # plus a per-request grant flag, no shared user set to mutate on
+        # every grant/release (the RPC worker-pool hot path).
+        self._count = 0
         self._queue: Deque[Request] = deque()
 
     @property
     def count(self) -> int:
         """Number of granted slots."""
-        return len(self._users)
+        return self._count
 
     @property
     def queue_length(self) -> int:
@@ -63,8 +67,9 @@ class Resource:
 
     def request(self) -> Request:
         req = Request(self.env, self)
-        if len(self._users) < self.capacity:
-            self._users.add(req)
+        if self._count < self.capacity:
+            self._count += 1
+            req.granted = True
             req.succeed()
         else:
             self._queue.append(req)
@@ -72,7 +77,7 @@ class Resource:
 
     def cancel(self, request: Request) -> None:
         """Withdraw a not-yet-granted request (no-op if already granted)."""
-        if request in self._users:
+        if request.granted:
             return
         request.cancelled = True
 
@@ -82,22 +87,24 @@ class Resource:
         interrupted at ``yield request()`` (it cannot know whether the
         grant raced the interrupt).
         """
-        if request in self._users:
+        if request.granted:
             self.release(request)
         else:
             request.cancelled = True
 
     def release(self, request: Request) -> None:
-        if request not in self._users:
+        if not request.granted:
             raise SimulationError("releasing a request that does not hold the resource")
-        self._users.remove(request)
+        request.granted = False
         while self._queue:
             nxt = self._queue.popleft()
             if nxt.cancelled:
                 continue
-            self._users.add(nxt)
+            # Hand the slot straight over: held count is unchanged.
+            nxt.granted = True
             nxt.succeed()
-            break
+            return
+        self._count -= 1
 
     def use(self, duration: float) -> Generator[Event, Any, None]:
         """Acquire one slot, hold it for ``duration``, release it."""

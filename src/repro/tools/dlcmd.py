@@ -22,6 +22,7 @@ Subcommands::
     dlcmd trace <local-file>                      chrome://tracing dump
     dlcmd verify                                  metadata vs chunks check
     dlcmd locality                                placement probe summary
+    dlcmd scale                                   engine throughput probe
 
 Every data-mutating command rewrites the workspace file.
 
@@ -131,6 +132,27 @@ def _build_parser() -> argparse.ArgumentParser:
         "-N", "--nodes", type=int, default=2,
         help="simulated task nodes (one cache master each) for the "
              "probe (default: %(default)s)",
+    )
+
+    p = sub.add_parser(
+        "scale",
+        help="engine throughput probe: heap+per-request vs "
+             "calendar+batched on the same synthetic epoch "
+             "(smoke-sized by default; no workspace data touched)",
+    )
+    p.add_argument(
+        "-N", "--nodes", type=int, default=50,
+        help="client nodes in the synthetic epoch (default: %(default)s)",
+    )
+    p.add_argument(
+        "-n", "--requests", type=int, default=10_000,
+        help="requests in the epoch (default: %(default)s; the full "
+             "BENCH artifact uses 1000 nodes x 10^6 requests)",
+    )
+    p.add_argument(
+        "-b", "--batch", type=int, default=64,
+        help="admission batch size for the batched variant "
+             "(default: %(default)s)",
     )
     return parser
 
@@ -371,6 +393,26 @@ def cmd_trace(ws: DieselWorkspace, dataset: str, args) -> str:
     )
 
 
+def cmd_scale(ws: DieselWorkspace, dataset: str, args) -> str:
+    """Run the engine scale experiment and print its table.
+
+    A pure simulation-substrate probe (synthetic epoch, nothing from the
+    workspace is read or written): both scheduler/admission variants
+    deliver the identical epoch and the table reports events/sec, peak
+    scheduler occupancy and the speedup row — the operator-facing view
+    of ``BENCH_scale.json``.
+    """
+    from repro.bench.experiments import scale_engine
+    from repro.bench.reporting import format_result
+
+    if args.nodes < 1 or args.requests < 1 or args.batch < 1:
+        raise ReproError("--nodes, --requests and --batch must be >= 1")
+    result = scale_engine(
+        n_nodes=args.nodes, n_requests=args.requests, batch=args.batch
+    )
+    return format_result(result)
+
+
 def cmd_verify(ws: DieselWorkspace, dataset: str, args) -> str:
     """Check every indexed file resolves through the KV metadata.
 
@@ -411,6 +453,7 @@ _COMMANDS = {
     "trace": (cmd_trace, False),
     "verify": (cmd_verify, False),
     "locality": (cmd_locality, False),
+    "scale": (cmd_scale, False),
 }
 
 

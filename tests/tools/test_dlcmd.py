@@ -165,3 +165,16 @@ class TestDlcmd:
         out = capsys.readouterr().out
         assert "task cache locality" in out
         assert "local_hits" in out and "replicated_chunks" in out
+
+    def test_scale_probe_needs_no_workspace(self, tmp_path, capsys):
+        # Pure simulation-substrate probe: runs against a nonexistent
+        # workspace file and prints the two-variant comparison table.
+        assert run(tmp_path, "scale", "-n", "500", "-N", "10", "-b", "16") == 0
+        out = capsys.readouterr().out
+        assert "engine scale" in out
+        assert "heap+per-request" in out and "calendar+batched" in out
+        assert "events_per_sec" in out and "speedup" in out
+
+    def test_scale_rejects_bad_sizes(self, tmp_path, capsys):
+        assert run(tmp_path, "scale", "-n", "0") == 1
+        assert "must be >= 1" in capsys.readouterr().err
