@@ -1,0 +1,33 @@
+"""Cross-task shared chunk tier: N trainers × 1 dataset (model selection)."""
+
+import pytest
+
+from repro.bench.experiments import model_selection
+
+
+@pytest.mark.benchmark(group="sharing")
+def test_model_selection(experiment):
+    result = experiment(model_selection)
+    # Warm register: the second task warms from the first task's
+    # resident chunks — a small fraction of the cold warmup, with zero
+    # extra backend I/O (every admission is a warm refcount bump).
+    warm = result.one(event="warm_register")
+    assert warm["warm_ratio"] < 0.25
+    assert warm["shared_warm_admissions"] == warm["chunks"]
+    # Sweep scaling: backend fetches stay ~constant as the task count
+    # grows — the headline criterion is 16 tasks at ≤ 1.2× the
+    # single-task fetch count.
+    single = result.one(event="sweep", tasks=1)
+    wide = result.one(event="sweep", tasks=16)
+    assert wide["backend_chunk_fetches"] <= 1.2 * single["backend_chunk_fetches"]
+    for row in result.where(event="sweep"):
+        assert row["quota_ok"]
+        assert row["max_node_usage_bytes"] <= row["quota_bytes"]
+        # Refcounts track every registered task: tasks × chunks refs.
+        assert row["shared_refs"] == row["tasks"] * row["chunks"]
+    # Quota pressure: the capped tenant is refused past its quota and
+    # its resident usage never crosses it.
+    capped = result.one(event="quota_pressure")
+    assert capped["shared_quota_rejections"] > 0
+    assert capped["quota_ok"]
+    assert capped["tenant_usage_bytes"] <= capped["quota_bytes"]

@@ -2064,6 +2064,188 @@ def scale_engine(
     return result
 
 
+# ===================================================== cross-task sharing
+def model_selection(
+    n_files: int = 192,
+    file_size: int = 8 * KB,
+    n_nodes: int = 4,
+    chunk_size: int = 64 * KB,
+    task_counts: Sequence[int] = (1, 2, 4, 8, 16),
+    constrained_fraction: float = 0.5,
+) -> ExperimentResult:
+    """Cross-task shared chunk tier under a model-selection sweep.
+
+    N trainers × 1 dataset (hyperparameter search / ensembling): every
+    task keeps its own :class:`TaskCache`, but all admissions route
+    through one node-level
+    :class:`~repro.core.shared_cache.SharedCacheRegistry`, so the
+    dataset is fetched from the object store once per (node, chunk) no
+    matter how many tasks run.  Three phases:
+
+    1. **Warm register** — task A warms the dataset cold, then task B
+       registers the same dataset: B's warmup admits from A's resident
+       chunks (refcount bump, no backend I/O) and finishes in a small
+       fraction of the cold time.
+    2. **Sweep scaling** — for each N in ``task_counts``, N concurrent
+       tasks register and train one epoch.  Backend chunk fetches stay
+       ~constant in N (cross-task admission + cross-task single-flight
+       on the racing warmups); per-tenant usage is reported against a
+       quota sized to the dataset, which is never exceeded.
+    3. **Tenant quota pressure** — one tenant constrained to a fraction
+       of the dataset's bytes: admissions beyond the quota are refused
+       (``quota_rejections``), resident usage never crosses the line,
+       and the task's reads past the quota fall through to the server
+       instead of failing.
+    """
+    from repro.bench.reporting import stats_row
+    from repro.calibration import ModelProfile
+    from repro.core.shared_cache import SharedCacheRegistry
+    from repro.dlt.sweep import build_sweep_task, run_sweep
+
+    result = ExperimentResult(
+        "cross-task shared cache (model selection)",
+        "shared chunk tier: N trainers × 1 dataset, quotas, QoS",
+    )
+    files = {
+        f"/ds/f{i:05d}.jpg": b"\x5a" * file_size for i in range(n_files)
+    }
+    model = ModelProfile("sweep-toy", compute_s=1e-4)
+
+    def build_sweep(tb, registry, n_tasks, tenant_of, qos_of, n_workers=n_nodes):
+        tasks = []
+        for t in range(n_tasks):
+            clients = [
+                diesel_client_with_snapshot(
+                    tb, "ds", tb.compute_nodes[c], f"t{t}c{c}", rank=c
+                )
+                for c in range(n_workers)
+            ]
+            tasks.append(build_sweep_task(
+                f"task{t}", tb.env, tb.fabric, tb.diesel, "ds", clients,
+                shared=registry, tenant=tenant_of(t), qos_class=qos_of(t),
+            ))
+        return tasks
+
+    with timer(result):
+        # ------------------------------------ phase 1: warm register
+        tb = make_testbed(n_compute=n_nodes)
+        add_diesel(tb, n_servers=1)
+        chunks = bulk_load_diesel(tb, "ds", files, chunk_size=chunk_size)
+        dataset_bytes = sum(len(c.encode()) for c in chunks)
+        registry = SharedCacheRegistry(tb.env)
+        cold_task, warm_task = build_sweep(
+            tb, registry, 2, lambda t: f"tenant{t}", lambda t: "batch"
+        )
+        t0 = tb.env.now
+        tb.run(cold_task.cache.register())
+        tb.run(cold_task.cache.wait_warm())
+        cold_s = tb.env.now - t0
+        t0 = tb.env.now
+        tb.run(warm_task.cache.register())
+        tb.run(warm_task.cache.wait_warm())
+        warm_s = tb.env.now - t0
+        warm_ratio = warm_s / cold_s if cold_s else 0.0
+        s = registry.stats
+        result.add(
+            event="warm_register", chunks=len(chunks),
+            cold_warmup_s=cold_s, warm_warmup_s=warm_s,
+            warm_ratio=warm_ratio,
+            **stats_row(s, prefix="shared_"),
+        )
+        result.note(
+            f"second task warmed {len(chunks)} chunks in "
+            f"{warm_s * 1e3:.3f}ms — {warm_ratio:.1%} of the "
+            f"{cold_s * 1e3:.3f}ms cold warmup "
+            f"({s.warm_admissions} warm admissions, 0 backend fetches)"
+        )
+
+        # ------------------------------------ phase 2: sweep scaling
+        single_task_fetches = None
+        for n_tasks in task_counts:
+            tb = make_testbed(n_compute=n_nodes)
+            add_diesel(tb, n_servers=1)
+            bulk_load_diesel(tb, "ds", files, chunk_size=chunk_size)
+            registry = SharedCacheRegistry(tb.env)
+            # Two tenant accounts (interactive search jobs vs batch
+            # retrains), each with headroom for the whole dataset.
+            for tenant in ("search", "retrain"):
+                registry.set_quota(tenant, dataset_bytes)
+            tasks = build_sweep(
+                tb, registry, n_tasks,
+                lambda t: "search" if t % 2 == 0 else "retrain",
+                lambda t: "interactive" if t % 2 == 0 else "batch",
+            )
+            fetches_before = tb.diesel.stats.chunk_reads
+            t0 = tb.env.now
+            tb.run(run_sweep(
+                tb.env, tasks, model, epochs=1, batch_size=8
+            ))
+            elapsed = tb.env.now - t0
+            fetches = tb.diesel.stats.chunk_reads - fetches_before
+            if single_task_fetches is None:
+                single_task_fetches = fetches
+            rows = registry.tenant_rows()
+            s = registry.stats
+            result.add(
+                event="sweep", tasks=n_tasks, chunks=len(chunks),
+                backend_chunk_fetches=fetches,
+                fetch_ratio_vs_single=fetches / single_task_fetches,
+                sweep_s=elapsed,
+                quota_ok=all(r["within_quota"] for r in rows),
+                max_node_usage_bytes=max(
+                    r["max_node_usage_bytes"] for r in rows
+                ),
+                quota_bytes=dataset_bytes,
+                **stats_row(s, prefix="shared_"),
+            )
+            result.note(
+                f"{n_tasks:>2} task(s): {fetches} backend fetches "
+                f"({fetches / single_task_fetches:.2f}x single-task), "
+                f"{s.warm_admissions} warm admissions, "
+                f"{s.coalesced_pulls} coalesced, quota "
+                f"{'respected' if all(r['within_quota'] for r in rows) else 'EXCEEDED'}"
+            )
+
+        # ---------------------------- phase 3: tenant quota pressure
+        tb = make_testbed(n_compute=1)
+        add_diesel(tb, n_servers=1)
+        chunks = bulk_load_diesel(tb, "ds", files, chunk_size=chunk_size)
+        registry = SharedCacheRegistry(tb.env)
+        quota = int(dataset_bytes * constrained_fraction)
+        registry.set_quota("capped", quota)
+        (task,) = build_sweep(
+            tb, registry, 1, lambda t: "capped", lambda t: "batch",
+            n_workers=1,
+        )
+
+        def one_epoch():
+            yield from task.cache.register()
+            yield from task.cache.wait_warm()
+            cc = task.cache.clients[0]
+            index = task.clients[0].index
+            for path in index.all_paths():
+                yield from task.cache.read_file(cc, index.lookup(path))
+
+        tb.run(one_epoch())
+        usage = max(
+            tier.tenant_usage("capped") for tier in registry.node_caches
+        )
+        s = registry.stats
+        result.add(
+            event="quota_pressure", chunks=len(chunks),
+            quota_bytes=quota, tenant_usage_bytes=usage,
+            quota_ok=usage <= quota,
+            **stats_row(s, prefix="shared_"),
+        )
+        result.note(
+            f"capped tenant (quota {quota} B over {dataset_bytes} B of "
+            f"chunks): {s.quota_rejections} admissions refused, peak "
+            f"usage {usage} B ({'within' if usage <= quota else 'OVER'} "
+            "quota); refused chunks served by server fall-through"
+        )
+    return result
+
+
 #: Registry used by the CLI-style runner and the EXPERIMENTS.md generator.
 ALL_EXPERIMENTS = {
     "table2": table2_read_bandwidth,
@@ -2085,4 +2267,5 @@ ALL_EXPERIMENTS = {
     "faults": fig_faults,
     "locality": fig_locality,
     "scale": scale_engine,
+    "sharing": model_selection,
 }

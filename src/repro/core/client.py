@@ -82,6 +82,9 @@ class ClientStats:
     gets: int = 0
     local_hits: int = 0
     cache_hits: int = 0
+    #: Reads the task cache resolved from the node-level shared chunk
+    #: tier (a chunk another task admitted); 0 without a shared tier.
+    shared_hits: int = 0
     server_reads: int = 0
     chunks_sent: int = 0
     bytes_written: int = 0
@@ -329,11 +332,22 @@ class DieselClient:
                            actor=self.name, path=path)
                 rec.count("read", layer)
             return payload
-        # 2. Task-grained distributed cache (one-hop peer fetch).
+        # 2. Task-grained distributed cache (one-hop peer fetch), backed
+        #    by the node-level shared chunk tier when one is attached —
+        #    a read can then resolve from a chunk another task admitted.
         if record is not None and self._cache is not None:
+            shared_before = (
+                self._cache.shared_hits
+                if self._cache.shared is not None else 0
+            )
             payload = yield from self._cache.read_file(
                 self.as_cache_client(), record
             )
+            if (
+                self._cache.shared is not None
+                and self._cache.shared_hits > shared_before
+            ):
+                self.stats.shared_hits += 1
             self.stats.cache_hits += 1
             self.stats.bytes_read += len(payload)
             if rec is not None:

@@ -38,6 +38,20 @@ class DieselConfig:
     #: replicates it onto that node's local master (read-skew
     #: mitigation).  0 disables hot-chunk replication.
     hot_chunk_threshold: int = 0
+    #: Route task-cache admissions through the node-level shared chunk
+    #: tier (``repro.core.shared_cache``): chunks are reference-counted
+    #: across tasks, a second task warms from the first task's resident
+    #: chunks, eviction only reclaims refcount-0 chunks.  False keeps
+    #: the legacy task-private cache.
+    shared_cache: bool = False
+    #: Per-node resident-byte quota charged to this task's tenant at
+    #: the shared tier (0 = unlimited).  Only consulted when
+    #: ``shared_cache`` is on.
+    tenant_quota_bytes: int = 0
+    #: Shared-tier admission priority: 'interactive' admissions may
+    #: evict any refcount-0 chunk to make room, 'batch' admissions may
+    #: not reclaim the interactive warm pool.
+    qos_class: str = "batch"
     #: Chunk-wise shuffle group size (chunks per group, §4.3/Fig 13).
     shuffle_group_size: int = 100
     #: Chunks kept in flight ahead of the shuffle-mode consumer (§4.3's
@@ -106,6 +120,10 @@ class DieselConfig:
             raise ValueError("locality_spill_ratio must be in (0, 1]")
         if self.hot_chunk_threshold < 0:
             raise ValueError("hot_chunk_threshold must be >= 0")
+        if self.tenant_quota_bytes < 0:
+            raise ValueError("tenant_quota_bytes must be >= 0")
+        if self.qos_class not in ("interactive", "batch"):
+            raise ValueError(f"unknown QoS class: {self.qos_class!r}")
         if self.shuffle_group_size < 1:
             raise ValueError("shuffle_group_size must be >= 1")
         if self.prefetch_depth < 0:

@@ -19,6 +19,12 @@ Each DLT task caches *its own* dataset across *its own* worker nodes:
   (per-master single-flight), and chunks read remotely often enough
   (``hot_chunk_threshold``) are replicated onto the readers' local
   masters;
+* with a node-level shared chunk tier attached
+  (:mod:`repro.core.shared_cache`), admissions are reference-counted
+  *across tasks*: a second task registering the same dataset warms from
+  the first task's resident chunks instead of the object store, reads
+  can resolve from chunks other tasks admitted on the reader's node,
+  and per-tenant quotas / QoS classes govern admission;
 * cache policies (§4.2): ``oneshot`` prefetches the full partition in the
   background right after registration; ``on-demand`` pulls a chunk the
   first time one of its files misses;
@@ -103,6 +109,9 @@ class TaskCacheStats:
     local_hits: int = 0
     #: Cache hits that paid the one-hop peer RPC.
     remote_hits: int = 0
+    #: Reads served node-locally from the shared chunk tier — a chunk
+    #: another task admitted (cross-task hit; 0 without a shared tier).
+    shared_hits: int = 0
     #: Reads served by the server because the owning peer was down.
     degraded_reads: int = 0
     coalesced_pulls: int = 0
@@ -139,6 +148,14 @@ class CacheMaster:
         #: backend fetch currently streaming that chunk.
         self._pull_inflight: Dict[str, Event] = {}
         self.stats = CacheMasterStats()
+        #: Node-level shared chunk tier (None = private chunks, the
+        #: legacy mode).  When attached, admission/eviction/memory are
+        #: owned by the shared tier and ``_chunks`` holds this task's
+        #: *references* into it (see ``attach_shared``).
+        self.shared = None
+        self._shared_task = ""
+        self._shared_tenant = "default"
+        self._shared_qos = "batch"
         #: Attached observability recorder (propagated by TaskCache).
         self.recorder = None
         self.endpoint = RpcEndpoint(
@@ -155,6 +172,24 @@ class CacheMaster:
     def up(self) -> bool:
         return self.endpoint.up
 
+    def attach_shared(
+        self, shared, task: str, tenant: str, qos_class: str
+    ) -> None:
+        """Route this master's admissions through a node-level
+        :class:`~repro.core.shared_cache.SharedChunkCache`.
+
+        ``task`` is the registry-issued task key the shared tier
+        refcounts under; ``tenant`` / ``qos_class`` govern its quota
+        charging and eviction priority.  Must be called before any
+        chunk is pulled (the two admission modes do not mix).
+        """
+        if self._chunks:
+            raise DieselError("attach_shared before any chunk is cached")
+        self.shared = shared
+        self._shared_task = task
+        self._shared_tenant = tenant
+        self._shared_qos = qos_class
+
     def has_chunk(self, encoded_cid: str) -> bool:
         return encoded_cid in self._chunks
 
@@ -162,11 +197,26 @@ class CacheMaster:
     def cached_chunk_count(self) -> int:
         return len(self._chunks)
 
+    def _shared_peek(self, encoded_cid: str, path: str) -> Optional[bytes]:
+        """Serve a file from the shared tier's warm pool (another task's
+        resident chunk) when this task's own reference set misses."""
+        if self.shared is None:
+            return None
+        chunk = self.shared.peek(self.dataset, encoded_cid)
+        if chunk is None or path not in chunk:
+            return None
+        self.shared.note_cross_task_read()
+        return chunk.payload(path, verify=False)
+
     def _handle(self, method: str, *args: Any) -> Any:
         if method == "get_file":
             encoded_cid, path = args
             chunk = self._chunks.get(encoded_cid)
             if chunk is None or path not in chunk:
+                payload = self._shared_peek(encoded_cid, path)
+                if payload is not None:
+                    self.stats.hits += 1
+                    return payload
                 self.stats.misses += 1
                 return None
             self.stats.hits += 1
@@ -204,8 +254,22 @@ class CacheMaster:
         only cached if the node's memory budget covers it; otherwise it
         stays server-resident (reads for it fall through, Fig 4) and the
         skip is counted.  Returns whether the chunk is now cached.
+
+        With a shared tier attached the admission is delegated: the
+        tier owns single-flight (cross-task), memory and eviction; this
+        master just records the reference it was granted.
         """
         if encoded_cid in self._chunks:
+            return True
+        if self.shared is not None:
+            held = yield from self.shared.acquire(self, encoded_cid)
+            if held is None:
+                self.stats.skipped_no_memory += 1
+                return False
+            chunk, nbytes = held
+            self._chunks[encoded_cid] = chunk
+            self.stats.chunks_loaded += 1
+            self.stats.bytes_cached += nbytes
             return True
         pending = self._pull_inflight.get(encoded_cid)
         if pending is not None:
@@ -248,6 +312,15 @@ class CacheMaster:
         memory-skipped chunks stay server-resident, and the same stats
         counters move.  Returns how many of ``cids`` are now cached.
         """
+        if self.shared is not None:
+            missing = [c for c in cids if c not in self._chunks]
+            held = yield from self.shared.acquire_batch(self, missing)
+            for cid, (chunk, nbytes) in held.items():
+                self._chunks[cid] = chunk
+                self.stats.chunks_loaded += 1
+                self.stats.bytes_cached += nbytes
+            self.stats.skipped_no_memory += len(missing) - len(held)
+            return len(cids) - len(missing) + len(held)
         cached = 0
         fetch: List[str] = []
         dones: List[Event] = []
@@ -390,7 +463,17 @@ class CacheMaster:
         return reloaded
 
     def drop_all(self) -> None:
-        """Release all cached chunks and return their memory."""
+        """Release all cached chunks and return their memory.
+
+        In shared mode, "release" means dropping this task's references
+        — the chunks stay resident as the tier's warm pool (memory is
+        reclaimed by shared-tier eviction, not here).
+        """
+        if self.shared is not None:
+            self.shared.release_task(self._shared_task, self._shared_tenant)
+            self._chunks.clear()
+            self._chunk_bytes.clear()
+            return
         freed = sum(self._chunk_bytes.values())
         if freed and self.node.alive:
             self.node.memory.put(freed)
@@ -416,6 +499,9 @@ class TaskCache:
         placement: str = "hash",
         locality_spill_ratio: float = 0.9,
         hot_chunk_threshold: int = 0,
+        shared=None,
+        tenant: str = "default",
+        qos_class: str = "batch",
     ) -> None:
         if not clients:
             raise DieselError("a task cache needs at least one client")
@@ -423,6 +509,8 @@ class TaskCache:
             raise DieselError(f"unknown cache policy {policy!r}")
         if placement not in ("hash", "locality"):
             raise DieselError(f"unknown cache placement {placement!r}")
+        if qos_class not in ("interactive", "batch"):
+            raise DieselError(f"unknown QoS class {qos_class!r}")
         if not 0.0 < locality_spill_ratio <= 1.0:
             raise DieselError("locality_spill_ratio must be in (0, 1]")
         if hot_chunk_threshold < 0:
@@ -456,6 +544,22 @@ class TaskCache:
         #: and recovery (``DieselConfig.admission_batch``); 1 = one RPC
         #: per chunk (legacy).
         self.admission_batch = admission_batch
+        #: Node-level shared chunk tier registry
+        #: (:class:`~repro.core.shared_cache.SharedCacheRegistry`);
+        #: None keeps the legacy task-private cache.  ``tenant`` names
+        #: the quota account this task's resident bytes charge;
+        #: ``qos_class`` sets its admission priority at the shared tier
+        #: (interactive admissions may evict the batch warm pool, not
+        #: vice versa).
+        self.shared = shared
+        self.tenant = tenant
+        self.qos_class = qos_class
+        #: Registry-issued key the shared tier refcounts this task
+        #: under (assigned at register()).
+        self.task_key: Optional[str] = None
+        #: Reads served node-locally from the shared tier — a chunk
+        #: another task admitted (the cross-task hit path).
+        self.shared_hits = 0
         self.clients = list(clients)
         self.connections = ConnectionTable()
         self.masters: Dict[str, CacheMaster] = {}  # node name -> master
@@ -497,6 +601,7 @@ class TaskCache:
         return TaskCacheStats(
             local_hits=self.local_hits,
             remote_hits=self.remote_hits,
+            shared_hits=self.shared_hits,
             degraded_reads=self.degraded_reads,
             coalesced_pulls=sum(
                 m.stats.coalesced_pulls for m in self.masters.values()
@@ -575,7 +680,8 @@ class TaskCache:
         # Any client can perform registration; use the global lowest rank.
         leader = min(self.clients, key=lambda c: (c.rank, c.name))
         summary = yield from self.server.call(
-            leader.node, "register", self.dataset, leader.name
+            leader.node, "register", self.dataset, leader.name,
+            self.tenant, self.qos_class,
         )
         # Master election: lowest rank per physical node (§4.2).
         by_node: Dict[str, CacheClient] = {}
@@ -583,11 +689,18 @@ class TaskCache:
             cur = by_node.get(c.node.name)
             if cur is None or (c.rank, c.name) < (cur.rank, cur.name):
                 by_node[c.node.name] = c
+        if self.shared is not None:
+            self.task_key = self.shared.next_task_id()
         for node_name in sorted(by_node):
             elected = by_node[node_name]
             master = CacheMaster(
                 self.env, self.fabric, elected, self.server, self.dataset, self.cal
             )
+            if self.shared is not None:
+                master.attach_shared(
+                    self.shared.for_node(elected.node),
+                    self.task_key, self.tenant, self.qos_class,
+                )
             if self._recorder is not None:
                 master.recorder = self._recorder
                 master.endpoint.recorder = self._recorder
@@ -690,6 +803,24 @@ class TaskCache:
             total += loaded
         return total
 
+    def deregister(self) -> int:
+        """Tear the task down: drop every cached chunk (or, with a
+        shared tier, every shared-tier reference this task holds).
+
+        Safe mid-epoch: chunks this task admitted stay resident in the
+        shared tier's warm pool at refcount 0, so concurrent tasks keep
+        hitting them and a later task re-warms instead of re-fetching.
+        Returns the number of chunks that were held.
+        """
+        if not self._registered:
+            raise DieselError("task cache not registered")
+        held = 0
+        for m in self.masters.values():
+            held += m.cached_chunk_count
+            m.drop_all()
+        self._registered = False
+        return held
+
     # ------------------------------------------------------------ accounting
     def connection_count(self) -> int:
         return self.connections.count()
@@ -759,6 +890,26 @@ class TaskCache:
                 if rec is not None:
                     self.last_resolution = "local_master"
                     rec.record("cache_read", "local_master",
+                               self.env.now - t0, actor=client.name,
+                               path=record.path)
+                return payload
+        # Shared-tier fast path: a chunk some *other* task admitted on
+        # the reader's node serves this read as a node-local memory copy
+        # — the cross-task hit that makes N tasks × 1 dataset cheap.
+        if self.shared is not None and client.node.alive:
+            tier = self.shared.for_node(client.node)
+            chunk = tier.peek(self.dataset, encoded_cid)
+            if chunk is not None and record.path in chunk:
+                payload = chunk.payload(record.path, verify=False)
+                tier.note_cross_task_read()
+                self.shared_hits += 1
+                yield self.env.timeout(
+                    self.fabric.local_latency_s
+                    + len(payload) / self.fabric.local_bandwidth_bps
+                )
+                if rec is not None:
+                    self.last_resolution = "shared_tier"
+                    rec.record("cache_read", "shared_tier",
                                self.env.now - t0, actor=client.name,
                                path=record.path)
                 return payload
@@ -937,6 +1088,13 @@ class TaskCache:
         survivors = [m for m in self.masters.values() if m.up]
         if not survivors:
             raise CachePeerDownError("all cache masters are down")
+        if self.shared is not None:
+            # Forget the crashed nodes' shared-tier residency (their
+            # memory died with them).  Survivors' re-pulls go through
+            # the shared tier: chunks another task already holds on a
+            # survivor warm-admit — refcounts are rebuilt, chunks are
+            # not duplicated and the backend is not re-read for them.
+            self.shared.purge_dead()
         orphaned: list[str] = []
         for m in dead:
             orphaned.extend(m.assigned)

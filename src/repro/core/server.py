@@ -88,6 +88,8 @@ class ServerStats:
     #: Merged chunk-wise range reads issued for batched RPCs.
     batch_spans: int = 0
     ingests: int = 0
+    #: Task registrations served (one per TaskCache.register()).
+    registrations: int = 0
 
     def to_dict(self) -> dict:
         """All counters as ``{name: value}``, derived from the dataclass
@@ -120,6 +122,9 @@ class DieselServer:
         self.cal = calibration
         self.name = name
         self.stats = ServerStats()
+        #: Registration log: one dict per task registration (dataset,
+        #: client, tenant, qos_class, at) — the ``dlcmd tenants`` seam.
+        self.registrations: list[dict] = []
         #: Optional user→key credentials checked by DL_connect; None
         #: means open access (the default in trusted-cluster deployments).
         self.access_keys = access_keys
@@ -494,17 +499,34 @@ class DieselServer:
             return True
         return self.access_keys.get(user) == key
 
-    def _op_register(self, dataset: str, client_name: str) -> dict:
+    def _op_register(
+        self,
+        dataset: str,
+        client_name: str,
+        tenant: str = "default",
+        qos_class: str = "batch",
+    ) -> dict:
         """Task registration: returns dataset summary for cache planning.
 
         ``chunk_sizes`` lets capacity-aware placement (locality policy)
         budget each node's partition in bytes rather than chunk counts.
+        Multi-tenant callers identify themselves with ``tenant`` /
+        ``qos_class`` (defaults keep single-tenant callers unchanged);
+        the registration log feeds the ``dlcmd tenants`` view.
         """
         rec = self._dataset_record(dataset)
         sizes = {
             c.encode(): self._chunk_record(dataset, c).size
             for c in rec.chunk_ids
         }
+        self.stats.registrations += 1
+        self.registrations.append({
+            "dataset": dataset,
+            "client": client_name,
+            "tenant": tenant,
+            "qos_class": qos_class,
+            "at": self.env.now,
+        })
         return {
             "dataset": dataset,
             "update_ts": rec.update_ts,

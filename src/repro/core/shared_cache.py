@@ -1,0 +1,520 @@
+"""Node-level shared chunk tier: one cache crossing task boundaries.
+
+DIESEL's task-grained cache (§4.2) is private to one training job, so a
+hyperparameter sweep of N tasks over the same dataset pays N× backend
+fetches and N× memory.  This module adds the Hoard-style remedy: every
+node runs **one** :class:`SharedChunkCache`, and each task's
+:class:`~repro.core.dist_cache.CacheMaster` on that node admits chunks
+*through* it instead of into private memory:
+
+* chunks are **reference-counted** per task — the first task's cold
+  admission fetches from the object store, every later task's admission
+  of the same chunk is a warm ref-bump (no fetch, no extra memory);
+* **single-flight is cross-task**: two tasks racing the same cold chunk
+  coalesce onto one backend fetch, exactly like the per-master map they
+  replace;
+* a task deregistering drops its refs; refcount-0 chunks stay resident
+  as a **warm pool** (a later task re-warms from them) until eviction
+  reclaims them for space — eviction never touches a referenced chunk;
+* **per-tenant byte quotas** bound how many resident bytes one tenant
+  may pin per node (0 = unlimited; admission at exactly the quota is
+  allowed, one byte past it is rejected);
+* two **QoS classes**: an ``interactive`` admission may evict any
+  refcount-0 chunk to make room, a ``batch`` admission may only reclaim
+  refcount-0 chunks last pinned by batch tasks — it cannot steal the
+  warm pool an interactive task left behind.
+
+:class:`SharedCacheRegistry` is the deployment-wide handle: it lazily
+creates the per-node caches, owns the tenant quota table, hands out
+task keys, and aggregates stats for benchmarks and ``dlcmd tenants``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
+
+from repro.core.chunk import Chunk
+from repro.sim.engine import Environment, Event
+
+#: The two admission-priority classes (paper-less extension; see
+#: DESIGN §11).  ``interactive`` outranks ``batch`` at eviction time.
+QOS_CLASSES = ("interactive", "batch")
+
+
+@dataclass(slots=True)
+class SharedCacheStats:
+    """Shared-tier counters (the bench-reporting seam).
+
+    Cumulative counters move as the cache runs; the gauge fields
+    (``bytes_resident`` / ``chunks_resident`` / ``refs``) are refreshed
+    on every :attr:`SharedChunkCache.stats` access.
+    """
+
+    #: Admissions that fetched the chunk from the object store.
+    cold_admissions: int = 0
+    #: Admissions satisfied by ref-bumping an already-resident chunk
+    #: (another task — or a prior task — paid the fetch).
+    warm_admissions: int = 0
+    #: Admissions that joined another task's in-flight backend fetch
+    #: (the cross-task single-flight map).
+    coalesced_pulls: int = 0
+    #: File reads served from a resident chunk held only by *other*
+    #: tasks (the shared-tier read hit in the Fig 4 chain).
+    cross_task_reads: int = 0
+    #: Refcount-0 chunks reclaimed to make room for a new admission.
+    evictions: int = 0
+    #: Admissions refused because they would push the tenant past its
+    #: byte quota on this node.
+    quota_rejections: int = 0
+    #: Batch admissions refused because the only reclaimable chunks
+    #: were the interactive warm pool (QoS protection).
+    qos_denied: int = 0
+    #: Admissions refused because the node's memory could not cover the
+    #: chunk even after every evictable chunk was reclaimed.
+    skipped_no_memory: int = 0
+    #: Task refs dropped (deregistration / recovery re-homing).
+    released_refs: int = 0
+    #: Gauges (refreshed on stats access).
+    bytes_resident: int = 0
+    chunks_resident: int = 0
+    refs: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        """All counters as ``{name: value}``, derived from the dataclass
+        fields so a new counter can never silently drop out of rows."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass(slots=True)
+class _Entry:
+    """One resident chunk: payload + cross-task reference bookkeeping."""
+
+    chunk: Chunk
+    nbytes: int
+    #: Task keys currently holding a reference.
+    tasks: set = field(default_factory=set)
+    #: Tenant → number of that tenant's tasks referencing this chunk
+    #: (quota is charged on the tenant's first ref, released on its
+    #: last).
+    tenants: Dict[str, int] = field(default_factory=dict)
+    #: QoS class protecting this chunk at eviction time: the highest
+    #: class that ever pinned it ("interactive" wins and sticks, so a
+    #: batch task cannot reclaim an interactive task's warm pool).
+    qos: str = "batch"
+
+
+class SharedChunkCache:
+    """The shared chunk tier on one node (all tasks, all datasets)."""
+
+    def __init__(self, env: Environment, node, registry: "SharedCacheRegistry") -> None:
+        self.env = env
+        self.node = node
+        self.registry = registry
+        #: ``"<dataset>/<encoded cid>"`` → entry, in LRU order (oldest
+        #: first): touched entries move to the end, eviction scans from
+        #: the front.
+        self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
+        #: Cross-task single-flight map: key → completion event of the
+        #: backend fetch currently streaming that chunk.
+        self._inflight: Dict[str, Event] = {}
+        #: Tenant → resident bytes the tenant references on this node.
+        self._tenant_usage: Dict[str, int] = {}
+        self._stats = SharedCacheStats()
+        #: Attached observability recorder (propagated by the registry).
+        self.recorder = None
+
+    @staticmethod
+    def _key(dataset: str, encoded_cid: str) -> str:
+        return f"{dataset}/{encoded_cid}"
+
+    # ------------------------------------------------------------- inspection
+    @property
+    def stats(self) -> SharedCacheStats:
+        """Counters with the residency gauges refreshed."""
+        s = self._stats
+        s.chunks_resident = len(self._entries)
+        s.bytes_resident = sum(e.nbytes for e in self._entries.values())
+        s.refs = sum(len(e.tasks) for e in self._entries.values())
+        return s
+
+    def resident(self, dataset: str, encoded_cid: str) -> bool:
+        return self._key(dataset, encoded_cid) in self._entries
+
+    def refcount(self, dataset: str, encoded_cid: str) -> int:
+        entry = self._entries.get(self._key(dataset, encoded_cid))
+        return len(entry.tasks) if entry is not None else 0
+
+    def tenant_usage(self, tenant: str) -> int:
+        """Resident bytes ``tenant`` currently references on this node."""
+        return self._tenant_usage.get(tenant, 0)
+
+    def peek(self, dataset: str, encoded_cid: str) -> Optional[Chunk]:
+        """Resident chunk for a read, whoever admitted it (no ref taken).
+
+        The shared-tier read hit: a task whose own master does not hold
+        the chunk can still serve the file from another task's resident
+        copy.  Touches LRU order; the caller counts the hit via
+        :meth:`note_cross_task_read`.
+        """
+        entry = self._entries.get(self._key(dataset, encoded_cid))
+        if entry is None:
+            return None
+        self._entries.move_to_end(self._key(dataset, encoded_cid))
+        return entry.chunk
+
+    def note_cross_task_read(self) -> None:
+        self._stats.cross_task_reads += 1
+
+    # -------------------------------------------------------------- admission
+    def _quota_room(self, tenant: str, nbytes: int) -> bool:
+        quota = self.registry.quota_of(tenant)
+        if quota <= 0:
+            return True
+        return self._tenant_usage.get(tenant, 0) + nbytes <= quota
+
+    def _charge_ref(self, entry: _Entry, task: str, tenant: str, qos: str) -> bool:
+        """Add ``task``'s reference; False iff the tenant quota refuses."""
+        if task in entry.tasks:
+            return True
+        first_for_tenant = tenant not in entry.tenants
+        if first_for_tenant and not self._quota_room(tenant, entry.nbytes):
+            self._stats.quota_rejections += 1
+            return False
+        entry.tasks.add(task)
+        entry.tenants[tenant] = entry.tenants.get(tenant, 0) + 1
+        if first_for_tenant:
+            self._tenant_usage[tenant] = (
+                self._tenant_usage.get(tenant, 0) + entry.nbytes
+            )
+        if qos == "interactive":
+            entry.qos = "interactive"
+        return True
+
+    def _evict(self, key: str) -> None:
+        entry = self._entries.pop(key)
+        if self.node.alive:
+            self.node.memory.put(entry.nbytes)
+        self._stats.evictions += 1
+        rec = self.recorder
+        if rec is not None:
+            rec.count("shared_evict", "shared_tier")
+
+    def _make_room(self, nbytes: int, qos: str) -> bool:
+        """Free node memory for a cold admission by reclaiming the warm
+        pool (refcount-0 chunks, LRU-first), honouring QoS: ``batch``
+        may not evict chunks the interactive class left warm."""
+        if self.node.memory.level >= nbytes:
+            return True
+        needed = nbytes - self.node.memory.level
+        victims: List[str] = []
+        blocked_by_qos = False
+        freed = 0
+        for key, entry in self._entries.items():
+            if entry.tasks:
+                continue
+            if qos != "interactive" and entry.qos == "interactive":
+                blocked_by_qos = True
+                continue
+            victims.append(key)
+            freed += entry.nbytes
+            if freed >= needed:
+                break
+        if freed < needed:
+            if blocked_by_qos:
+                self._stats.qos_denied += 1
+            else:
+                self._stats.skipped_no_memory += 1
+            return False
+        for key in victims:
+            self._evict(key)
+        return True
+
+    def acquire(
+        self, master, encoded_cid: str
+    ) -> Generator[Event, Any, Optional[Tuple[Chunk, int]]]:
+        """Admit one chunk on behalf of ``master``'s task (ref-counted).
+
+        ``master`` is a :class:`~repro.core.dist_cache.CacheMaster`
+        attached via ``attach_shared`` (the call site supplies node,
+        server, dataset, task key, tenant and QoS class; its
+        ``stats.coalesced_pulls`` moves when this acquire joins another
+        task's in-flight fetch, preserving the task-level counter).
+
+        Resident → warm ref-bump.  In flight → wait (cross-task
+        single-flight), then ref-bump.  Miss → fetch from the object
+        store, make room (QoS-governed eviction of the warm pool),
+        charge the tenant quota, admit.  Returns ``(chunk, nbytes)``,
+        or ``None`` when the quota, QoS policy or node memory refused
+        the admission (the chunk stays server-resident; reads for it
+        fall through, Fig 4).
+        """
+        key = self._key(master.dataset, encoded_cid)
+        task = master._shared_task
+        tenant = master._shared_tenant
+        qos = master._shared_qos
+        while True:
+            entry = self._entries.get(key)
+            if entry is not None:
+                if not self._charge_ref(entry, task, tenant, qos):
+                    return None
+                self._entries.move_to_end(key)
+                self._stats.warm_admissions += 1
+                rec = self.recorder
+                if rec is not None:
+                    rec.count("shared_warm_admit", "shared_tier")
+                return entry.chunk, entry.nbytes
+            pending = self._inflight.get(key)
+            if pending is None:
+                break
+            self._stats.coalesced_pulls += 1
+            master.stats.coalesced_pulls += 1
+            yield pending
+            # Re-check: the fetch may have been refused (quota/memory),
+            # in which case this task retries the cold path itself.
+        done = self.env.event()
+        self._inflight[key] = done
+        try:
+            blob = yield from master.server.call(
+                self.node,
+                "get_chunk",
+                master.dataset,
+                encoded_cid,
+                response_bytes=None,  # sized from the returned bytes
+            )
+            nbytes = len(blob)
+            if not self._quota_room(tenant, nbytes):
+                self._stats.quota_rejections += 1
+                return None
+            if not self._make_room(nbytes, qos):
+                return None
+            yield self.node.memory.get(nbytes)
+            chunk = Chunk.decode(blob)
+            entry = _Entry(chunk=chunk, nbytes=nbytes, qos=qos)
+            entry.tasks.add(task)
+            entry.tenants[tenant] = 1
+            self._entries[key] = entry
+            self._tenant_usage[tenant] = (
+                self._tenant_usage.get(tenant, 0) + nbytes
+            )
+            self._stats.cold_admissions += 1
+            rec = self.recorder
+            if rec is not None:
+                rec.count("shared_cold_admit", "shared_tier")
+            return chunk, nbytes
+        finally:
+            del self._inflight[key]
+            done.succeed()
+
+    def acquire_batch(
+        self, master, cids: Sequence[str]
+    ) -> Generator[Event, Any, Dict[str, Tuple[Chunk, int]]]:
+        """Batched :meth:`acquire`: one vectorized server admission.
+
+        The cold subset rides a single
+        :meth:`~repro.core.server.DieselServer.call_batch`; warm chunks
+        ref-bump immediately and chunks in flight under another task are
+        awaited afterwards — the same classification discipline as the
+        per-master ``_pull_chunks_batched`` it replaces.  Returns the
+        chunks now held by ``master``'s task, keyed by encoded cid.
+        """
+        task = master._shared_task
+        tenant = master._shared_tenant
+        qos = master._shared_qos
+        held: Dict[str, Tuple[Chunk, int]] = {}
+        fetch: List[str] = []
+        dones: List[Event] = []
+        waits: List[str] = []
+        for cid in cids:
+            key = self._key(master.dataset, cid)
+            entry = self._entries.get(key)
+            if entry is not None:
+                if self._charge_ref(entry, task, tenant, qos):
+                    self._entries.move_to_end(key)
+                    self._stats.warm_admissions += 1
+                    held[cid] = (entry.chunk, entry.nbytes)
+                continue
+            if key in self._inflight:
+                self._stats.coalesced_pulls += 1
+                master.stats.coalesced_pulls += 1
+                waits.append(cid)
+                continue
+            done = self.env.event()
+            self._inflight[key] = done
+            fetch.append(cid)
+            dones.append(done)
+        try:
+            if fetch:
+                blobs = yield from master.server.call_batch(
+                    self.node,
+                    [("get_chunk", master.dataset, cid) for cid in fetch],
+                )
+                for cid, blob in zip(fetch, blobs):
+                    nbytes = len(blob)
+                    if not self._quota_room(tenant, nbytes):
+                        self._stats.quota_rejections += 1
+                        continue
+                    if not self._make_room(nbytes, qos):
+                        continue
+                    yield self.node.memory.get(nbytes)
+                    entry = _Entry(
+                        chunk=Chunk.decode(blob), nbytes=nbytes, qos=qos
+                    )
+                    entry.tasks.add(task)
+                    entry.tenants[tenant] = 1
+                    self._entries[self._key(master.dataset, cid)] = entry
+                    self._tenant_usage[tenant] = (
+                        self._tenant_usage.get(tenant, 0) + nbytes
+                    )
+                    self._stats.cold_admissions += 1
+                    held[cid] = (entry.chunk, nbytes)
+        finally:
+            for cid, done in zip(fetch, dones):
+                del self._inflight[self._key(master.dataset, cid)]
+                done.succeed()
+        for cid in waits:
+            result = yield from self.acquire(master, cid)
+            if result is not None:
+                held[cid] = result
+                # acquire already counted the warm admission.
+        return held
+
+    # ---------------------------------------------------------------- release
+    def release(self, dataset: str, encoded_cid: str, task: str, tenant: str) -> None:
+        """Drop one task's reference; the chunk stays warm (refcount-0
+        chunks are reclaimed by eviction, not by release)."""
+        entry = self._entries.get(self._key(dataset, encoded_cid))
+        if entry is None or task not in entry.tasks:
+            return
+        entry.tasks.discard(task)
+        left = entry.tenants.get(tenant, 0) - 1
+        if left <= 0:
+            entry.tenants.pop(tenant, None)
+            self._tenant_usage[tenant] = max(
+                0, self._tenant_usage.get(tenant, 0) - entry.nbytes
+            )
+        else:
+            entry.tenants[tenant] = left
+        self._stats.released_refs += 1
+
+    def release_task(self, task: str, tenant: str) -> int:
+        """Drop every reference ``task`` holds; returns how many."""
+        released = 0
+        for key, entry in self._entries.items():
+            if task in entry.tasks:
+                dataset, _, encoded_cid = key.rpartition("/")
+                self.release(dataset, encoded_cid, task, tenant)
+                released += 1
+        return released
+
+    def purge_crashed(self) -> int:
+        """Node died: forget everything without returning memory (the
+        node's memory container died with it).  Refcounts for the dead
+        node are rebuilt by the survivors' recovery admissions."""
+        if self.node.alive:
+            return 0
+        n = len(self._entries)
+        self._entries.clear()
+        self._inflight.clear()
+        self._tenant_usage.clear()
+        return n
+
+
+class SharedCacheRegistry:
+    """Deployment-wide shared-tier handle: per-node caches + quotas."""
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self._caches: Dict[str, SharedChunkCache] = {}  # node name → cache
+        self._quotas: Dict[str, int] = {}  # tenant → per-node byte quota
+        self._next_task = 0
+        self._recorder = None
+
+    def for_node(self, node) -> SharedChunkCache:
+        """The node's shared cache (created lazily on first use)."""
+        cache = self._caches.get(node.name)
+        if cache is None:
+            cache = SharedChunkCache(self.env, node, self)
+            cache.recorder = self._recorder
+            self._caches[node.name] = cache
+        return cache
+
+    @property
+    def node_caches(self) -> List[SharedChunkCache]:
+        return [self._caches[k] for k in sorted(self._caches)]
+
+    def next_task_id(self) -> str:
+        """A deterministic unique key for a registering task."""
+        self._next_task += 1
+        return f"task{self._next_task}"
+
+    # ----------------------------------------------------------------- quotas
+    def set_quota(self, tenant: str, quota_bytes: int) -> None:
+        """Per-node resident-byte quota for ``tenant`` (0 = unlimited)."""
+        if quota_bytes < 0:
+            raise ValueError("tenant quota must be >= 0")
+        self._quotas[tenant] = quota_bytes
+
+    def quota_of(self, tenant: str) -> int:
+        return self._quotas.get(tenant, 0)
+
+    def tenants(self) -> List[str]:
+        """Every tenant with a quota or resident usage, sorted."""
+        names = set(self._quotas)
+        for cache in self._caches.values():
+            names.update(cache._tenant_usage)
+        return sorted(names)
+
+    def tenant_rows(self) -> List[dict]:
+        """Per-tenant usage summary (``dlcmd tenants`` / bench rows).
+
+        ``max_node_usage_bytes`` is the enforcement-relevant number:
+        quotas bound each node independently, so the busiest node is the
+        one that can violate them.
+        """
+        rows = []
+        for tenant in self.tenants():
+            usages = [c.tenant_usage(tenant) for c in self.node_caches]
+            quota = self.quota_of(tenant)
+            peak = max(usages, default=0)
+            rows.append({
+                "tenant": tenant,
+                "quota_bytes": quota,
+                "max_node_usage_bytes": peak,
+                "total_usage_bytes": sum(usages),
+                "within_quota": quota <= 0 or peak <= quota,
+            })
+        return rows
+
+    # ------------------------------------------------------------------ stats
+    @property
+    def stats(self) -> SharedCacheStats:
+        """Counters summed over every node cache (gauges included)."""
+        total = SharedCacheStats()
+        for cache in self._caches.values():
+            snap = cache.stats
+            for f in fields(total):
+                setattr(total, f.name, getattr(total, f.name) + getattr(snap, f.name))
+        return total
+
+    @property
+    def recorder(self):
+        """Attached observability recorder (None = disabled)."""
+        return self._recorder
+
+    @recorder.setter
+    def recorder(self, value) -> None:
+        self._recorder = value
+        for cache in self._caches.values():
+            cache.recorder = value
+
+    # --------------------------------------------------------------- recovery
+    def purge_dead(self) -> int:
+        """Clear the caches of crashed nodes; returns entries dropped.
+
+        Idempotent — every recovering task calls it; only the first call
+        after a crash finds anything.  Survivor caches are untouched, so
+        recovery re-admissions warm from them instead of re-fetching.
+        """
+        return sum(c.purge_crashed() for c in self._caches.values())

@@ -23,6 +23,7 @@ Subcommands::
     dlcmd verify                                  metadata vs chunks check
     dlcmd locality                                placement probe summary
     dlcmd scale                                   engine throughput probe
+    dlcmd tenants                                 shared-tier tenant usage
 
 Every data-mutating command rewrites the workspace file.
 
@@ -153,6 +154,23 @@ def _build_parser() -> argparse.ArgumentParser:
         "-b", "--batch", type=int, default=64,
         help="admission batch size for the batched variant "
              "(default: %(default)s)",
+    )
+
+    p = sub.add_parser(
+        "tenants",
+        help="shared-tier probe: per-tenant quota usage, hit/miss and "
+             "QoS admission counters over simulated concurrent tasks",
+    )
+    p.add_argument(
+        "-N", "--tasks", type=int, default=2,
+        help="concurrent simulated tasks sharing the node tier, one "
+             "tenant each; task 0 registers as 'interactive', the rest "
+             "as 'batch' (default: %(default)s)",
+    )
+    p.add_argument(
+        "-q", "--quota", type=int, default=0,
+        help="per-tenant per-node byte quota for the probe "
+             "(default: %(default)s = unlimited)",
     )
     return parser
 
@@ -413,6 +431,96 @@ def cmd_scale(ws: DieselWorkspace, dataset: str, args) -> str:
     return format_result(result)
 
 
+def _sharing_probe(
+    ws: DieselWorkspace, dataset: str, n_tasks: int, quota_bytes: int,
+    tag: str = "tenants",
+):
+    """Run ``n_tasks`` concurrent shared-tier tasks over the dataset.
+
+    Spins up two simulated task nodes; every task spans both, so all
+    tasks route admissions through the same node-level
+    :class:`~repro.core.shared_cache.SharedChunkCache` instances.  Task
+    0 registers as the 'interactive' tenant, the rest as 'batch'.  All
+    registrations race (cross-task single-flight), then each task reads
+    the full dataset once.  Returns ``(registry, caches)``; nothing
+    about the workspace is mutated.
+    """
+    from repro.cluster.node import Node
+    from repro.core.dist_cache import CacheClient, TaskCache
+    from repro.core.shared_cache import SharedCacheRegistry
+
+    if n_tasks < 1:
+        raise ReproError("--tasks must be >= 1")
+    if quota_bytes < 0:
+        raise ReproError("--quota must be >= 0")
+    sync = ws.client(dataset)
+    index = sync.load_meta(sync.save_meta())
+    if not index.all_paths():
+        raise ReproError(f"dataset {dataset!r} has no files to probe")
+    env, fabric = ws.tb.env, ws.tb.fabric
+    nodes = [fabric.add_node(Node(env, f"{tag}-n{i}")) for i in range(2)]
+    registry = SharedCacheRegistry(env)
+    caches = []
+    for t in range(n_tasks):
+        tenant = f"tenant{t}"
+        if quota_bytes:
+            registry.set_quota(tenant, quota_bytes)
+        caches.append(TaskCache(
+            env, fabric, ws.server, dataset,
+            [
+                CacheClient(f"{tag}-t{t}c{i}", nodes[i], i)
+                for i in range(len(nodes))
+            ],
+            policy="oneshot", shared=registry, tenant=tenant,
+            qos_class="interactive" if t == 0 else "batch",
+        ))
+    regs = [env.process(c.register()) for c in caches]
+    env.run(until=env.all_of(regs))
+    warms = [env.process(c.wait_warm()) for c in caches]
+    env.run(until=env.all_of(warms))
+
+    def epoch(cache):
+        cc = cache.clients[0]
+        for path in index.all_paths():
+            yield from cache.read_file(cc, index.lookup(path))
+
+    readers = [env.process(epoch(c)) for c in caches]
+    env.run(until=env.all_of(readers))
+    return registry, caches
+
+
+def cmd_tenants(ws: DieselWorkspace, dataset: str, args) -> str:
+    """Per-tenant shared-tier usage over an ephemeral multi-task probe."""
+    from repro.bench.reporting import stats_row
+
+    registry, caches = _sharing_probe(
+        ws, dataset, args.tasks, args.quota
+    )
+    lines = [
+        f"shared-tier probe: {args.tasks} concurrent task(s), "
+        f"dataset {dataset!r}"
+    ]
+    lines.append("tenant       qos          quota         peak node use  ok")
+    for cache, row in zip(caches, registry.tenant_rows()):
+        quota = format_bytes(row["quota_bytes"]) if row["quota_bytes"] else "-"
+        lines.append(
+            f"{row['tenant']:<12} {cache.qos_class:<12} {quota:>12}  "
+            f"{format_bytes(row['max_node_usage_bytes']):>12}  "
+            f"{'yes' if row['within_quota'] else 'NO'}"
+        )
+    s = registry.stats
+    admitted = s.cold_admissions + s.warm_admissions
+    warm_frac = s.warm_admissions / admitted if admitted else 0.0
+    lines.append(
+        f"admissions: {admitted} ({s.warm_admissions} warm / "
+        f"{s.cold_admissions} cold, {warm_frac:.0%} served from "
+        f"resident chunks), {s.coalesced_pulls} coalesced in flight"
+    )
+    counters = stats_row(registry.stats, prefix="shared_")
+    lines.append("  ".join(f"{k[7:]} {v}" for k, v in counters.items()))
+    return "\n".join(lines)
+
+
 def cmd_verify(ws: DieselWorkspace, dataset: str, args) -> str:
     """Check every indexed file resolves through the KV metadata.
 
@@ -454,6 +562,7 @@ _COMMANDS = {
     "verify": (cmd_verify, False),
     "locality": (cmd_locality, False),
     "scale": (cmd_scale, False),
+    "tenants": (cmd_tenants, False),
 }
 
 

@@ -175,3 +175,70 @@ class TestKVSupervisor:
         with pytest.raises(ValueError):
             KVSupervisor(det, dep.server, dep.kv, ["ds"],
                          restart_delay_s=-1.0)
+
+
+class TestSharedTierRecovery:
+    def shared_rig(self, n_nodes=3, n_files=24):
+        from repro.core.shared_cache import SharedCacheRegistry
+
+        dep = build_deployment(n_client_nodes=n_nodes)
+        files = small_files(n_files, size=2048)
+        writer = write_dataset(dep, "ds", files, chunk_size=8 * 1024)
+
+        def load():
+            blob = yield from writer.save_meta()
+            yield from writer.load_meta(blob)
+
+        dep.run(load())
+        registry = SharedCacheRegistry(dep.env)
+        det = FailureDetector(dep.env, heartbeat_interval_s=0.02,
+                              failure_timeout_s=0.05)
+        caches, sups = [], []
+        for t in range(2):
+            clients = [
+                CacheClient(f"t{t}cc{i}", node, i)
+                for i, node in enumerate(dep.client_nodes)
+            ]
+            cache = TaskCache(dep.env, dep.fabric, dep.server, "ds",
+                              clients, shared=registry)
+            dep.run(cache.register())
+            dep.run(cache.wait_warm())
+            caches.append(cache)
+            sups.append(CacheSupervisor(det, cache, fanout=2))
+        det.start()
+        return dep, registry, caches, sups, files, writer.index, det
+
+    def test_healing_restores_refcounts_without_duplicate_fetches(self):
+        dep, registry, caches, sups, files, index, det = self.shared_rig()
+        n_chunks = len(index.chunk_ids())
+        victim = dep.client_nodes[0]
+        dead_chunks = caches[0].masters[victim.name].cached_chunk_count
+
+        def scenario():
+            yield dep.env.timeout(0.05)
+            fetches = dep.server.stats.chunk_reads
+            victim.kill()
+            yield dep.env.timeout(2.0)
+            return dep.server.stats.chunk_reads - fetches
+
+        refetched = dep.run(scenario())
+        det.stop()
+        dep.env.run()
+        # Both supervisors healed; the dead node's chunks were fetched
+        # from the backend exactly once (the second heal warm-admitted).
+        assert all(len(s.recoveries) == 1 for s in sups)
+        assert refetched == dead_chunks
+        s = registry.stats
+        assert s.refs == 2 * n_chunks
+        assert s.chunks_resident == n_chunks
+        # The recovery records attribute the re-pull per shared layer.
+        # The two heal windows overlap, so each record sees the union of
+        # both tasks' admissions: the dead chunks fetched cold exactly
+        # once, plus the other task's warm refcount rebuild.
+        recs = [s.recoveries[0] for s in sups]
+        for r in recs:
+            assert r["shared_cold_admissions"] == dead_chunks
+            assert r["shared_warm_admissions"] == dead_chunks
+            assert (r["shared_cold_admissions"]
+                    + r["shared_warm_admissions"]
+                    >= r["chunks_reloaded"])

@@ -178,3 +178,34 @@ class TestDlcmd:
     def test_scale_rejects_bad_sizes(self, tmp_path, capsys):
         assert run(tmp_path, "scale", "-n", "0") == 1
         assert "must be >= 1" in capsys.readouterr().err
+
+    def test_tenants_probe_prints_usage_and_counters(self, tmp_path,
+                                                     local_tree, capsys):
+        run(tmp_path, "put", str(local_tree), "/t")
+        capsys.readouterr()
+        assert run(tmp_path, "tenants", "-N", "3") == 0
+        out = capsys.readouterr().out
+        assert "shared-tier probe: 3 concurrent task(s)" in out
+        assert "tenant0" in out and "tenant2" in out
+        assert "interactive" in out and "batch" in out
+        assert "warm_admissions" in out and "qos_denied" in out
+        assert "quota_rejections" in out
+        assert "NO" not in out  # every tenant within quota
+
+    def test_tenants_quota_flag_is_reported(self, tmp_path, local_tree,
+                                            capsys):
+        run(tmp_path, "put", str(local_tree), "/t")
+        capsys.readouterr()
+        assert run(tmp_path, "tenants", "-N", "2", "-q", "1000000") == 0
+        out = capsys.readouterr().out
+        assert "976.56 KiB" in out  # the quota column, humanized
+
+    def test_tenants_rejects_bad_args(self, tmp_path, local_tree, capsys):
+        run(tmp_path, "put", str(local_tree), "/t")
+        capsys.readouterr()
+        assert run(tmp_path, "tenants", "-N", "0") == 1
+        assert "--tasks must be >= 1" in capsys.readouterr().err
+
+    def test_tenants_empty_dataset_errors(self, tmp_path, capsys):
+        assert run(tmp_path, "tenants") == 1
+        assert "no such dataset" in capsys.readouterr().err
