@@ -1,0 +1,37 @@
+"""Tiered cache store: datasets 0.5×–10× of aggregate RAM."""
+
+import pytest
+
+from repro.bench.experiments import capacity
+
+
+@pytest.mark.benchmark(group="capacity")
+def test_capacity_sweep(experiment):
+    result = experiment(capacity)
+    runs = result.where(event="run")
+    assert len(runs) == 10  # 5 ratios × {compression off, on}
+    for row in runs:
+        # Nothing is ever lost to the overflow: every chunk stays
+        # resident on some tier, every read returns correct bytes, and
+        # the RAM gauge never exceeds the per-node budget.
+        assert row["lost_chunks"] == 0
+        assert row["failed_reads"] == 0
+        assert row["ram_bound_ok"]
+        assert row["max_ram_bytes"] <= row["aggregate_ram_bytes"]
+        # Warmup absorbed the whole dataset: the epoch never falls
+        # through to the backend.
+        assert row["epoch_backend_fetches"] == 0
+    # The 10× runs completed with the working set overwhelmingly on
+    # disk (RAM covers a sliver).
+    ten = result.one(event="run", ratio=10.0, compression=False)
+    assert ten["tier_disk_hits"] > ten["tier_ram_hits"]
+    # Throughput floor at 2× RAM: the disk tier must sustain at least
+    # 100 MB/s (RAM-only at 0.5× runs ~1.1 GB/s; pure-disk chunk reads
+    # bottom out near 90 MB/s at 10×).
+    two = result.one(event="run", ratio=2.0, compression=False)
+    assert two["read_throughput_bps"] >= 100e6
+    # Compression pays off once the disk tier serves most reads: at
+    # ≥ 4× dataset:RAM the compressed runs are at least as fast.
+    for ratio in (4.0, 10.0):
+        gain = result.one(event="compression_gain", ratio=ratio)
+        assert gain["throughput_gain"] >= 1.0

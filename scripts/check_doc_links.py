@@ -7,6 +7,11 @@ on disk, including ``#anchor`` fragments against the target file's
 headings.  External URLs (``http://``, ``https://``, ``mailto:``) are
 syntax-checked only — CI must not depend on network reachability.
 
+Beyond per-link checks, ``docs/INDEX.md`` is treated as the landing
+page: every ``*.md`` file under ``docs/`` must be reachable from it
+(linked directly), so a new doc cannot be added without an index
+entry.
+
 Exit status: 0 when every link resolves, 1 otherwise (broken links are
 listed one per line as ``file:line: target — reason``).
 
@@ -104,6 +109,32 @@ def check_file(md: Path) -> list[str]:
     return errors
 
 
+def check_index_coverage() -> list[str]:
+    """Every ``docs/*.md`` must be linked from the docs landing page."""
+    index = REPO / "docs" / "INDEX.md"
+    if not index.exists():
+        return ["docs/INDEX.md: file not found (docs landing page)"]
+    linked: set[Path] = set()
+    in_fence = False
+    for line in index.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in LINK_RE.finditer(line):
+            target = m.group(1)
+            if target.startswith(EXTERNAL) or target.startswith("#"):
+                continue
+            path_part = target.partition("#")[0]
+            linked.add((index.parent / path_part).resolve())
+    return [
+        f"docs/INDEX.md: docs/{md.name} is not linked from the index"
+        for md in sorted((REPO / "docs").glob("*.md"))
+        if md.name != "INDEX.md" and md.resolve() not in linked
+    ]
+
+
 def main(argv: list[str]) -> int:
     names = argv or DEFAULT_FILES
     errors: list[str] = []
@@ -113,6 +144,8 @@ def main(argv: list[str]) -> int:
             errors.append(f"{name}: file not found")
             continue
         errors.extend(check_file(md))
+    if not argv:  # default set: also enforce the docs landing page
+        errors.extend(check_index_coverage())
     for err in errors:
         print(err)
     checked = len(names)

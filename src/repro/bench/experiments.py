@@ -1186,7 +1186,7 @@ def ingest_pipeline(
     from repro.bench.reporting import ratio, stats_row
     from repro.core.chunk_builder import ChunkBuilder, ChunkPipeline
     from repro.core.client import DieselClient
-    from repro.util.ids import ChunkIdGenerator
+    from repro.util.ids import sim_id_generator
 
     result = ExperimentResult("pipelined chunk ingest", "§4.1.1 / Fig 9")
     chunk_size = files_per_chunk * file_size
@@ -1213,7 +1213,7 @@ def ingest_pipeline(
             # --- ship phase: pre-sealed chunks, transfer overlap only ---
             tb, client = fresh_client(depth)
             builder = ChunkBuilder(
-                ChunkIdGenerator(clock=lambda: tb.env.now),
+                sim_id_generator("ingest", clock=lambda: tb.env.now),
                 chunk_size=chunk_size,
             )
             chunks = builder.build_all(items)  # zero simulated cost
@@ -2246,6 +2246,151 @@ def model_selection(
     return result
 
 
+def capacity(
+    ram_bytes: int = 3 * MB,
+    n_nodes: int = 2,
+    file_size: int = 16 * KB,
+    chunk_size: int = 256 * KB,
+    ratios: Sequence[float] = (0.5, 1.0, 2.0, 4.0, 10.0),
+    disk_tier_bytes: int = 64 * MB,
+) -> ExperimentResult:
+    """Datasets larger than memory: the tiered chunk store under load.
+
+    Cache nodes get ``ram_bytes`` of memory each and a simulated
+    node-local NVMe tier (``cache_store='tiered'``,
+    :mod:`repro.core.chunk_store`).  For each dataset:RAM ratio in
+    ``ratios`` — 0.5× (fits comfortably) through 10× (RAM covers a
+    sliver) — one task warms the dataset and reads every file for one
+    epoch, with and without transparent chunk compression:
+
+    * Warmup admissions overflow RAM → disk instead of staying
+      server-resident, so the epoch never falls through to the backend.
+    * Reads past the RAM tier charge a chunk-granular disk read (plus
+      decompress when compression is on); with RAM full they stream
+      through *without* promotion, so a scan larger than memory cannot
+      thrash the RAM working set.
+    * Compression shrinks stored/transferred bytes per chunk by a
+      deterministic per-chunk ratio (~1.4–3.6×): reads pay
+      ``stored/disk_bw + logical/decompress_bw`` instead of
+      ``logical/disk_bw``, which wins once the disk tier serves most
+      reads (≥ ~2× dataset:RAM).
+
+    Every row records read throughput, tier counters, the RAM-gauge
+    bound (resident RAM bytes never exceed the node's budget) and
+    ``lost_chunks`` (chunks resident on no tier at epoch end — always
+    0: the disk tier absorbs the overflow).
+    """
+    from repro.bench.reporting import stats_row
+    from repro.core.shared_cache import SharedCacheRegistry
+    from repro.dlt.sweep import build_sweep_task
+
+    result = ExperimentResult(
+        "tiered cache store capacity sweep",
+        "RAM + NVMe chunk tiers, datasets 0.5x-10x of aggregate RAM",
+    )
+    aggregate_ram = n_nodes * ram_bytes
+
+    def one_run(ratio, compression):
+        n_files = max(1, int(ratio * aggregate_ram / file_size))
+        files = {
+            f"/ds/f{i:05d}.jpg": bytes([i % 251]) * file_size
+            for i in range(n_files)
+        }
+        tb = make_testbed(n_compute=1)
+        add_diesel(tb, n_servers=1)
+        chunks = bulk_load_diesel(tb, "ds", files, chunk_size=chunk_size)
+        dataset_bytes = sum(len(c.encode()) for c in chunks)
+        cap_nodes = [
+            tb.fabric.add_node(Node(
+                tb.env, f"cap{i}", memory_bytes=ram_bytes, nic_channels=8
+            ))
+            for i in range(n_nodes)
+        ]
+        registry = SharedCacheRegistry(
+            tb.env, store="tiered", disk_tier_bytes=disk_tier_bytes,
+            chunk_compression=compression,
+        )
+        clients = [
+            diesel_client_with_snapshot(tb, "ds", node, f"w{i}", rank=i)
+            for i, node in enumerate(cap_nodes)
+        ]
+        task = build_sweep_task(
+            "cap", tb.env, tb.fabric, tb.diesel, "ds", clients,
+            shared=registry,
+        )
+        t0 = tb.env.now
+        tb.run(task.cache.register())
+        tb.run(task.cache.wait_warm())
+        warmup_s = tb.env.now - t0
+        index = clients[0].index
+        paths = list(files)
+        failed = [0]
+
+        def worker(w):
+            cc = task.cache.clients[w]
+            for path in paths[w::n_nodes]:
+                data = yield from task.cache.read_file(cc, index.lookup(path))
+                if data != files[path]:
+                    failed[0] += 1
+
+        fetches_before = tb.diesel.stats.chunk_reads
+        t0 = tb.env.now
+        tb.run_all([worker(w) for w in range(n_nodes)])
+        epoch_s = tb.env.now - t0
+        rows = registry.tier_rows()
+        resident = sum(r["chunks_ram"] + r["chunks_disk"] for r in rows)
+        return {
+            "event": "run",
+            "ratio": ratio,
+            "compression": compression,
+            "n_files": n_files,
+            "chunks": len(chunks),
+            "dataset_bytes": dataset_bytes,
+            "aggregate_ram_bytes": aggregate_ram,
+            "warmup_s": warmup_s,
+            "epoch_s": epoch_s,
+            "read_throughput_bps": dataset_bytes / epoch_s,
+            "failed_reads": failed[0],
+            "lost_chunks": len(chunks) - resident,
+            "epoch_backend_fetches":
+                tb.diesel.stats.chunk_reads - fetches_before,
+            "ram_bound_ok": all(
+                r["ram_bytes"] <= ram_bytes for r in rows
+            ),
+            "max_ram_bytes": max(r["ram_bytes"] for r in rows),
+            **stats_row(registry.store_stats, prefix="tier_"),
+        }
+
+    with timer(result):
+        for ratio in ratios:
+            for compression in (False, True):
+                row = one_run(ratio, compression)
+                result.add(**row)
+                result.note(
+                    f"{ratio:>4}x RAM {'+comp' if compression else '     '}: "
+                    f"{row['read_throughput_bps'] / MB:8.1f} MB/s, "
+                    f"{row['tier_ram_hits']} RAM hits / "
+                    f"{row['tier_disk_hits']} disk hits, "
+                    f"{row['lost_chunks']} lost chunks, "
+                    f"{row['epoch_backend_fetches']} backend fetches"
+                )
+        for ratio in ratios:
+            plain = result.one(event="run", ratio=ratio, compression=False)
+            comp = result.one(event="run", ratio=ratio, compression=True)
+            gain = (comp["read_throughput_bps"]
+                    / plain["read_throughput_bps"])
+            result.add(
+                event="compression_gain", ratio=ratio,
+                throughput_gain=gain,
+                disk_share=comp["tier_disk_hits"]
+                / max(1, comp["tier_disk_hits"] + comp["tier_ram_hits"]),
+            )
+            result.note(
+                f"{ratio:>4}x RAM: compression x{gain:.2f} throughput"
+            )
+    return result
+
+
 #: Registry used by the CLI-style runner and the EXPERIMENTS.md generator.
 ALL_EXPERIMENTS = {
     "table2": table2_read_bandwidth,
@@ -2268,4 +2413,5 @@ ALL_EXPERIMENTS = {
     "locality": fig_locality,
     "scale": scale_engine,
     "sharing": model_selection,
+    "capacity": capacity,
 }

@@ -27,7 +27,7 @@ from repro.cluster.node import Node
 from repro.kvstore import KVInstance, ShardedKV
 from repro.objectstore import ObjectStore
 from repro.sim import Environment
-from repro.util.ids import ChunkIdGenerator
+from repro.util.ids import sim_id_generator
 from repro.workloads.datasets import DatasetSpec
 from repro.workloads.filegen import generate_file
 
@@ -184,7 +184,8 @@ def bulk_load_diesel(
     if tb.store is None:
         raise RuntimeError("call add_diesel() first")
     builder = ChunkBuilder(
-        ChunkIdGenerator(clock=lambda: tb.env.now), chunk_size=chunk_size
+        sim_id_generator(f"bulkload:{dataset}", clock=lambda: tb.env.now),
+        chunk_size=chunk_size,
     )
     chunks = builder.build_all(files.items())
     server = tb.diesel

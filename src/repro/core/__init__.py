@@ -11,6 +11,9 @@ Subpackages/modules:
 * :mod:`repro.core.recovery` — KV rebuild from chunks (§4.1.2);
 * :mod:`repro.core.client` — libDIESEL (Table 3 API);
 * :mod:`repro.core.dist_cache` — task-grained distributed cache (§4.2);
+* :mod:`repro.core.shared_cache` — node-level cross-task shared chunk tier;
+* :mod:`repro.core.chunk_store` — pluggable chunk residency: RAM tier +
+  simulated-NVMe disk tier with optional transparent compression;
 * :mod:`repro.core.shuffle` — chunk-wise shuffle (§4.3, Fig 8);
 * :mod:`repro.core.prefetch` — pipelined chunk prefetch over epoch plans;
 * :mod:`repro.core.fuse` — FUSE-style POSIX facade;

@@ -39,7 +39,7 @@ from repro.errors import ClosedError, DieselError, StaleSnapshotError
 from repro.cluster.node import Node
 from repro.sim.engine import Environment, Event, fan_out
 from repro.util.hashing import stable_hash
-from repro.util.ids import ChunkIdGenerator
+from repro.util.ids import sim_id_generator
 from repro.util.pathutil import normalize
 
 
@@ -144,7 +144,7 @@ class DieselClient:
         self._rr = 0
         self._closed = False
         self._builder = ChunkBuilder(
-            ChunkIdGenerator(clock=lambda: env.now),
+            sim_id_generator(self.name, clock=lambda: env.now),
             chunk_size=self.config.chunk_size,
         )
         self._index: Optional[SnapshotIndex] = None

@@ -52,6 +52,25 @@ class DieselConfig:
     #: evict any refcount-0 chunk to make room, 'batch' admissions may
     #: not reclaim the interactive warm pool.
     qos_class: str = "batch"
+    #: Chunk-residency store backing the task cache and the shared
+    #: tier: 'ram' keeps every resident chunk in node memory (legacy —
+    #: chunks that do not fit stay server-resident); 'tiered' adds a
+    #: simulated node-local NVMe tier that absorbs the overflow, demotes
+    #: cold refcount-0 chunks under memory pressure and promotes them
+    #: back on access (``repro.core.chunk_store``).
+    cache_store: str = "ram"
+    #: Disk-tier capacity in stored bytes per node (0 = unbounded).
+    #: Only consulted when ``cache_store='tiered'``.
+    disk_tier_bytes: int = 0
+    #: Fixed per-operation latency of the simulated NVMe disk tier.
+    disk_latency_s: float = 8e-05
+    #: Streaming bandwidth of the simulated disk tier (bytes/s).
+    disk_bandwidth_bps: float = 2147483648.0
+    #: Transparently compress chunks written to the disk tier
+    #: (FanStore-style): pays a modeled compress/decompress CPU cost in
+    #: exchange for capacity and disk-bandwidth savings; the per-chunk
+    #: ratio is seeded deterministically from the chunk key.
+    chunk_compression: bool = False
     #: Chunk-wise shuffle group size (chunks per group, §4.3/Fig 13).
     shuffle_group_size: int = 100
     #: Chunks kept in flight ahead of the shuffle-mode consumer (§4.3's
@@ -124,6 +143,14 @@ class DieselConfig:
             raise ValueError("tenant_quota_bytes must be >= 0")
         if self.qos_class not in ("interactive", "batch"):
             raise ValueError(f"unknown QoS class: {self.qos_class!r}")
+        if self.cache_store not in ("ram", "tiered"):
+            raise ValueError(f"unknown cache store: {self.cache_store!r}")
+        if self.disk_tier_bytes < 0:
+            raise ValueError("disk_tier_bytes must be >= 0")
+        if self.disk_latency_s < 0:
+            raise ValueError("disk_latency_s must be >= 0")
+        if self.disk_bandwidth_bps <= 0:
+            raise ValueError("disk_bandwidth_bps must be positive")
         if self.shuffle_group_size < 1:
             raise ValueError("shuffle_group_size must be >= 1")
         if self.prefetch_depth < 0:

@@ -45,6 +45,12 @@ from repro.calibration import Calibration, DEFAULT
 from repro.core.meta import FileRecord
 from repro.core.server import DieselServer
 from repro.core.chunk import Chunk
+from repro.core.chunk_store import (
+    DEFAULT_DISK_BANDWIDTH_BPS,
+    DEFAULT_DISK_LATENCY_S,
+    make_spec,
+    make_store,
+)
 from repro.errors import (
     CachePeerDownError,
     CircuitOpenError,
@@ -112,6 +118,9 @@ class TaskCacheStats:
     #: Reads served node-locally from the shared chunk tier — a chunk
     #: another task admitted (cross-task hit; 0 without a shared tier).
     shared_hits: int = 0
+    #: Reads served from the node-local *disk* tier (device read +
+    #: optional decompress; 0 without ``cache_store="tiered"``).
+    disk_hits: int = 0
     #: Reads served by the server because the owning peer was down.
     degraded_reads: int = 0
     coalesced_pulls: int = 0
@@ -134,6 +143,7 @@ class CacheMaster:
         server: DieselServer,
         dataset: str,
         calibration: Calibration,
+        store_spec: Optional[dict] = None,
     ) -> None:
         self.env = env
         self.client = client
@@ -142,22 +152,25 @@ class CacheMaster:
         self.dataset = dataset
         self.cal = calibration
         self.assigned: List[str] = []  # encoded chunk ids
-        self._chunks: Dict[str, Chunk] = {}
-        self._chunk_bytes: Dict[str, int] = {}
+        #: Private chunk residency (RAM or RAM+disk tiers, see
+        #: :mod:`repro.core.chunk_store`).  Unused once a shared tier
+        #: is attached — residency then lives in the node's
+        #: SharedChunkCache store and this master only tracks the
+        #: references it holds (``_held``: encoded cid → nbytes).
+        self.store = make_store(env, client.node, store_spec)
+        self._held: Dict[str, int] = {}
         #: Single-flight map: encoded cid -> completion event of the
         #: backend fetch currently streaming that chunk.
         self._pull_inflight: Dict[str, Event] = {}
         self.stats = CacheMasterStats()
         #: Node-level shared chunk tier (None = private chunks, the
         #: legacy mode).  When attached, admission/eviction/memory are
-        #: owned by the shared tier and ``_chunks`` holds this task's
-        #: *references* into it (see ``attach_shared``).
+        #: owned by the shared tier (see ``attach_shared``).
         self.shared = None
         self._shared_task = ""
         self._shared_tenant = "default"
         self._shared_qos = "batch"
-        #: Attached observability recorder (propagated by TaskCache).
-        self.recorder = None
+        self._recorder = None
         self.endpoint = RpcEndpoint(
             env,
             fabric,
@@ -172,6 +185,16 @@ class CacheMaster:
     def up(self) -> bool:
         return self.endpoint.up
 
+    @property
+    def recorder(self):
+        """Attached observability recorder (propagated by TaskCache)."""
+        return self._recorder
+
+    @recorder.setter
+    def recorder(self, value) -> None:
+        self._recorder = value
+        self.store.recorder = value
+
     def attach_shared(
         self, shared, task: str, tenant: str, qos_class: str
     ) -> None:
@@ -183,7 +206,7 @@ class CacheMaster:
         charging and eviction priority.  Must be called before any
         chunk is pulled (the two admission modes do not mix).
         """
-        if self._chunks:
+        if self._held or self.store.count:
             raise DieselError("attach_shared before any chunk is cached")
         self.shared = shared
         self._shared_task = task
@@ -191,11 +214,15 @@ class CacheMaster:
         self._shared_qos = qos_class
 
     def has_chunk(self, encoded_cid: str) -> bool:
-        return encoded_cid in self._chunks
+        if self.shared is not None:
+            return encoded_cid in self._held
+        return self.store.contains(encoded_cid)
 
     @property
     def cached_chunk_count(self) -> int:
-        return len(self._chunks)
+        if self.shared is not None:
+            return len(self._held)
+        return self.store.count
 
     def _shared_peek(self, encoded_cid: str, path: str) -> Optional[bytes]:
         """Serve a file from the shared tier's warm pool (another task's
@@ -208,11 +235,57 @@ class CacheMaster:
         self.shared.note_cross_task_read()
         return chunk.payload(path, verify=False)
 
+    def _ram_chunk(self, encoded_cid: str) -> Optional[Chunk]:
+        """This master's RAM-resident copy of a chunk (free to read);
+        ``None`` when absent — or resident on the disk tier only, which
+        must charge a device read (:meth:`_read_resident`)."""
+        if self.shared is not None:
+            if encoded_cid not in self._held:
+                return None
+            return self.shared.peek(self.dataset, encoded_cid)
+        got = self.store.get(encoded_cid)
+        return got[0] if got is not None else None
+
+    def _disk_resident(self, encoded_cid: str) -> bool:
+        """Whether a resident chunk lives on the disk tier only."""
+        if self.shared is not None:
+            return self.shared.disk_resident(self.dataset, encoded_cid)
+        return self.store.tier_of(encoded_cid) == "disk"
+
+    def _read_resident(
+        self, encoded_cid: str
+    ) -> Generator[Event, Any, Optional[Chunk]]:
+        """Cost-charging read of a resident chunk on any tier (disk
+        reads pay the device + decompress cost and promote when node
+        memory allows)."""
+        if self.shared is not None:
+            chunk = yield from self.shared.read_resident(
+                self.dataset, encoded_cid
+            )
+            return chunk
+        got = yield from self.store.load(encoded_cid)
+        return got[0] if got is not None else None
+
+    def _get_file_tiered(
+        self, encoded_cid: str, path: str
+    ) -> Generator[Event, Any, Optional[bytes]]:
+        """Serve a remote ``get_file`` from a disk-resident chunk: the
+        endpoint runs this generator so the caller's RPC charges the
+        disk read (Fig 4's chain gains a tier between RAM and server)."""
+        chunk = yield from self._read_resident(encoded_cid)
+        if chunk is None or path not in chunk:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return chunk.payload(path, verify=False)
+
     def _handle(self, method: str, *args: Any) -> Any:
         if method == "get_file":
             encoded_cid, path = args
-            chunk = self._chunks.get(encoded_cid)
+            chunk = self._ram_chunk(encoded_cid)
             if chunk is None or path not in chunk:
+                if self._disk_resident(encoded_cid):
+                    return self._get_file_tiered(encoded_cid, path)
                 payload = self._shared_peek(encoded_cid, path)
                 if payload is not None:
                     self.stats.hits += 1
@@ -222,21 +295,23 @@ class CacheMaster:
             self.stats.hits += 1
             return chunk.payload(path, verify=False)
         if method == "has_chunk":
-            return args[0] in self._chunks
+            return self.has_chunk(args[0])
         if method == "pull_chunk":
             return self._pull_chunk(args[0])
         raise DieselError(f"unknown cache method {method!r}")
 
     def local_payload(self, encoded_cid: str, path: str) -> Optional[bytes]:
-        """Serve one file from a resident chunk without an RPC.
+        """Serve one file from a RAM-resident chunk without an RPC.
 
         The node-local fast path: when the reader sits on this master's
         own node, :class:`TaskCache` calls this directly and charges the
         intra-node memory-copy cost itself.  Returns ``None`` when the
-        chunk is absent (or the file is not in it) — the caller then
-        takes the regular one-hop/fall-through route.
+        chunk is absent, the file is not in it, or the chunk sits on
+        the disk tier (a free peek must not hide a disk read — the
+        caller's tiered path charges it) — the caller then takes the
+        regular one-hop/fall-through route.
         """
-        chunk = self._chunks.get(encoded_cid)
+        chunk = self._ram_chunk(encoded_cid)
         if chunk is None or path not in chunk:
             return None
         self.stats.hits += 1
@@ -259,15 +334,15 @@ class CacheMaster:
         tier owns single-flight (cross-task), memory and eviction; this
         master just records the reference it was granted.
         """
-        if encoded_cid in self._chunks:
+        if self.has_chunk(encoded_cid):
             return True
         if self.shared is not None:
             held = yield from self.shared.acquire(self, encoded_cid)
             if held is None:
                 self.stats.skipped_no_memory += 1
                 return False
-            chunk, nbytes = held
-            self._chunks[encoded_cid] = chunk
+            _, nbytes = held
+            self._held[encoded_cid] = nbytes
             self.stats.chunks_loaded += 1
             self.stats.bytes_cached += nbytes
             return True
@@ -275,7 +350,7 @@ class CacheMaster:
         if pending is not None:
             self.stats.coalesced_pulls += 1
             yield pending
-            return encoded_cid in self._chunks
+            return self.has_chunk(encoded_cid)
         done = self.env.event()
         self._pull_inflight[encoded_cid] = done
         try:
@@ -286,13 +361,12 @@ class CacheMaster:
                 encoded_cid,
                 response_bytes=None,  # sized from the returned bytes
             )
-            if self.node.memory.level < len(blob):
+            tier = yield from self.store.put(
+                encoded_cid, Chunk.decode(blob), len(blob)
+            )
+            if tier is None:
                 self.stats.skipped_no_memory += 1
                 return False
-            yield self.node.memory.get(len(blob))
-            chunk = Chunk.decode(blob)
-            self._chunks[encoded_cid] = chunk
-            self._chunk_bytes[encoded_cid] = len(blob)
             self.stats.chunks_loaded += 1
             self.stats.bytes_cached += len(blob)
             return True
@@ -313,10 +387,10 @@ class CacheMaster:
         counters move.  Returns how many of ``cids`` are now cached.
         """
         if self.shared is not None:
-            missing = [c for c in cids if c not in self._chunks]
+            missing = [c for c in cids if c not in self._held]
             held = yield from self.shared.acquire_batch(self, missing)
-            for cid, (chunk, nbytes) in held.items():
-                self._chunks[cid] = chunk
+            for cid, (_, nbytes) in held.items():
+                self._held[cid] = nbytes
                 self.stats.chunks_loaded += 1
                 self.stats.bytes_cached += nbytes
             self.stats.skipped_no_memory += len(missing) - len(held)
@@ -326,7 +400,7 @@ class CacheMaster:
         dones: List[Event] = []
         waits: List[Tuple[str, Event]] = []
         for cid in cids:
-            if cid in self._chunks:
+            if self.store.contains(cid):
                 cached += 1
                 continue
             pending = self._pull_inflight.get(cid)
@@ -345,12 +419,12 @@ class CacheMaster:
                     [("get_chunk", self.dataset, cid) for cid in fetch],
                 )
                 for cid, blob in zip(fetch, blobs):
-                    if self.node.memory.level < len(blob):
+                    tier = yield from self.store.put(
+                        cid, Chunk.decode(blob), len(blob)
+                    )
+                    if tier is None:
                         self.stats.skipped_no_memory += 1
                         continue
-                    yield self.node.memory.get(len(blob))
-                    self._chunks[cid] = Chunk.decode(blob)
-                    self._chunk_bytes[cid] = len(blob)
                     self.stats.chunks_loaded += 1
                     self.stats.bytes_cached += len(blob)
                     cached += 1
@@ -360,7 +434,7 @@ class CacheMaster:
                 done.succeed()
         for cid, pending in waits:
             yield pending
-            cached += cid in self._chunks
+            cached += self.store.contains(cid)
         return cached
 
     def _pull_group(self, cids: Sequence[str]) -> Generator[Event, Any, int]:
@@ -471,14 +545,9 @@ class CacheMaster:
         """
         if self.shared is not None:
             self.shared.release_task(self._shared_task, self._shared_tenant)
-            self._chunks.clear()
-            self._chunk_bytes.clear()
+            self._held.clear()
             return
-        freed = sum(self._chunk_bytes.values())
-        if freed and self.node.alive:
-            self.node.memory.put(freed)
-        self._chunks.clear()
-        self._chunk_bytes.clear()
+        self.store.clear()
 
 
 class TaskCache:
@@ -502,6 +571,11 @@ class TaskCache:
         shared=None,
         tenant: str = "default",
         qos_class: str = "batch",
+        cache_store: str = "ram",
+        disk_tier_bytes: int = 0,
+        disk_latency_s: Optional[float] = None,
+        disk_bandwidth_bps: Optional[float] = None,
+        chunk_compression: bool = False,
     ) -> None:
         if not clients:
             raise DieselError("a task cache needs at least one client")
@@ -522,6 +596,23 @@ class TaskCache:
         names = [c.name for c in clients]
         if len(set(names)) != len(names):
             raise DieselError("client names must be unique")
+        try:
+            #: Chunk-residency spec for this task's *private* masters
+            #: (``cache_store="tiered"`` overflows/demotes cold chunks
+            #: to a simulated node-local NVMe tier instead of leaving
+            #: them server-resident).  With a shared tier attached the
+            #: per-node store comes from the registry's spec instead.
+            self.store_spec = make_spec(
+                cache_store,
+                disk_tier_bytes,
+                DEFAULT_DISK_LATENCY_S if disk_latency_s is None
+                else disk_latency_s,
+                DEFAULT_DISK_BANDWIDTH_BPS if disk_bandwidth_bps is None
+                else disk_bandwidth_bps,
+                chunk_compression,
+            )
+        except ValueError as exc:
+            raise DieselError(str(exc)) from None
         self.env = env
         self.fabric = fabric
         self.server = server
@@ -560,6 +651,8 @@ class TaskCache:
         #: Reads served node-locally from the shared tier — a chunk
         #: another task admitted (the cross-task hit path).
         self.shared_hits = 0
+        #: Reads served from the node-local disk tier (tiered store).
+        self.disk_hits = 0
         self.clients = list(clients)
         self.connections = ConnectionTable()
         self.masters: Dict[str, CacheMaster] = {}  # node name -> master
@@ -602,6 +695,7 @@ class TaskCache:
             local_hits=self.local_hits,
             remote_hits=self.remote_hits,
             shared_hits=self.shared_hits,
+            disk_hits=self.disk_hits,
             degraded_reads=self.degraded_reads,
             coalesced_pulls=sum(
                 m.stats.coalesced_pulls for m in self.masters.values()
@@ -694,7 +788,8 @@ class TaskCache:
         for node_name in sorted(by_node):
             elected = by_node[node_name]
             master = CacheMaster(
-                self.env, self.fabric, elected, self.server, self.dataset, self.cal
+                self.env, self.fabric, elected, self.server, self.dataset,
+                self.cal, store_spec=self.store_spec,
             )
             if self.shared is not None:
                 master.attach_shared(
@@ -893,6 +988,27 @@ class TaskCache:
                                self.env.now - t0, actor=client.name,
                                path=record.path)
                 return payload
+            # Disk-tier fast path: the chunk is resident on the node's
+            # own master but demoted/overflowed to the simulated NVMe
+            # tier — serve it for a device read (+ decompress), still
+            # cheaper than a backend fetch, promoting when memory
+            # allows.
+            if self.shared is None and serving._disk_resident(encoded_cid):
+                chunk = yield from serving._read_resident(encoded_cid)
+                if chunk is not None and record.path in chunk:
+                    payload = chunk.payload(record.path, verify=False)
+                    serving.stats.hits += 1
+                    self.disk_hits += 1
+                    yield self.env.timeout(
+                        self.fabric.local_latency_s
+                        + len(payload) / self.fabric.local_bandwidth_bps
+                    )
+                    if rec is not None:
+                        self.last_resolution = "disk_tier"
+                        rec.record("cache_read", "disk_tier",
+                                   self.env.now - t0, actor=client.name,
+                                   path=record.path)
+                    return payload
         # Shared-tier fast path: a chunk some *other* task admitted on
         # the reader's node serves this read as a node-local memory copy
         # — the cross-task hit that makes N tasks × 1 dataset cheap.
@@ -913,6 +1029,28 @@ class TaskCache:
                                self.env.now - t0, actor=client.name,
                                path=record.path)
                 return payload
+            # Shared-tier *disk* hit: the chunk is resident on this
+            # node but demoted to the NVMe tier — pay the device read
+            # (+ decompress, + promote when memory allows) instead of
+            # a backend round-trip.
+            if tier.disk_resident(self.dataset, encoded_cid):
+                chunk = yield from tier.read_resident(
+                    self.dataset, encoded_cid
+                )
+                if chunk is not None and record.path in chunk:
+                    payload = chunk.payload(record.path, verify=False)
+                    tier.note_cross_task_read()
+                    self.disk_hits += 1
+                    yield self.env.timeout(
+                        self.fabric.local_latency_s
+                        + len(payload) / self.fabric.local_bandwidth_bps
+                    )
+                    if rec is not None:
+                        self.last_resolution = "disk_tier"
+                        rec.record("cache_read", "disk_tier",
+                                   self.env.now - t0, actor=client.name,
+                                   path=record.path)
+                    return payload
         payload = None
         peer_answered = False
         if master.up:

@@ -44,7 +44,7 @@ from repro.objectstore.store import ObjectStore
 from repro.objectstore.tiered import TieredStore
 from repro.rpc.endpoint import RpcEndpoint
 from repro.sim.engine import Environment, Event
-from repro.util.ids import ChunkId, ChunkIdGenerator, decode_chunk_id
+from repro.util.ids import ChunkId, decode_chunk_id, sim_id_generator
 from repro.util.pathutil import basename, dirname, normalize
 
 AnyStore = Union[ObjectStore, TieredStore]
@@ -151,7 +151,7 @@ class DieselServer:
         # through the KV dataset record, so multiple servers stay coherent).
         self._kv_batch = 128  # records per pipelined KV round trip
         # One generator per server so purge-minted chunk IDs never collide.
-        self._idgen = ChunkIdGenerator(clock=lambda: env.now)
+        self._idgen = sim_id_generator(self.name, clock=lambda: env.now)
 
     @property
     def recorder(self):

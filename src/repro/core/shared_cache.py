@@ -22,11 +22,21 @@ node runs **one** :class:`SharedChunkCache`, and each task's
 * two **QoS classes**: an ``interactive`` admission may evict any
   refcount-0 chunk to make room, a ``batch`` admission may only reclaim
   refcount-0 chunks last pinned by batch tasks — it cannot steal the
-  warm pool an interactive task left behind.
+  warm pool an interactive task left behind;
+* chunk *residency* is delegated to a pluggable
+  :mod:`~repro.core.chunk_store` backend: the default ``ram`` store
+  keeps the legacy all-in-memory behaviour, while ``tiered`` adds a
+  simulated node-local NVMe tier — under memory pressure, refcount-0
+  chunks are **demoted** to disk (LRU-first) instead of dropped,
+  disk-resident chunks are promoted back on access, and the disk tier
+  *survives a node crash* so recovery re-admits by reference instead
+  of re-fetching from the backend.
 
 :class:`SharedCacheRegistry` is the deployment-wide handle: it lazily
-creates the per-node caches, owns the tenant quota table, hands out
-task keys, and aggregates stats for benchmarks and ``dlcmd tenants``.
+creates the per-node caches (each with its own store built from the
+registry's spec), owns the tenant quota table, hands out task keys,
+and aggregates stats for benchmarks and ``dlcmd tenants`` / ``dlcmd
+tiers``.
 """
 
 from __future__ import annotations
@@ -36,6 +46,13 @@ from dataclasses import dataclass, field, fields
 from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro.core.chunk import Chunk
+from repro.core.chunk_store import (
+    ChunkStoreStats,
+    DEFAULT_DISK_BANDWIDTH_BPS,
+    DEFAULT_DISK_LATENCY_S,
+    make_spec,
+    make_store,
+)
 from repro.sim.engine import Environment, Event
 
 #: The two admission-priority classes (paper-less extension; see
@@ -89,9 +106,12 @@ class SharedCacheStats:
 
 @dataclass(slots=True)
 class _Entry:
-    """One resident chunk: payload + cross-task reference bookkeeping."""
+    """One resident chunk's cross-task reference bookkeeping.
 
-    chunk: Chunk
+    The payload itself lives in the node cache's chunk *store* (RAM or
+    tiered, see :mod:`repro.core.chunk_store`) under the same key; this
+    entry only tracks who references it."""
+
     nbytes: int
     #: Task keys currently holding a reference.
     tasks: set = field(default_factory=set)
@@ -112,18 +132,31 @@ class SharedChunkCache:
         self.env = env
         self.node = node
         self.registry = registry
-        #: ``"<dataset>/<encoded cid>"`` → entry, in LRU order (oldest
-        #: first): touched entries move to the end, eviction scans from
-        #: the front.
+        #: ``"<dataset>/<encoded cid>"`` → reference entry.  Residency
+        #: (payload, tier, LRU recency) is owned by :attr:`store`.
         self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
+        #: Chunk residency backend (RAM or RAM+disk), built from the
+        #: registry's store spec; its ``on_evict`` hook drops our
+        #: reference entry when the store sheds a chunk for capacity.
+        self.store = make_store(env, node, registry.store_spec,
+                                on_evict=self._forget)
         #: Cross-task single-flight map: key → completion event of the
         #: backend fetch currently streaming that chunk.
         self._inflight: Dict[str, Event] = {}
         #: Tenant → resident bytes the tenant references on this node.
         self._tenant_usage: Dict[str, int] = {}
         self._stats = SharedCacheStats()
-        #: Attached observability recorder (propagated by the registry).
-        self.recorder = None
+        self._recorder = None
+
+    @property
+    def recorder(self):
+        """Attached observability recorder (propagated by the registry)."""
+        return self._recorder
+
+    @recorder.setter
+    def recorder(self, value) -> None:
+        self._recorder = value
+        self.store.recorder = value
 
     @staticmethod
     def _key(dataset: str, encoded_cid: str) -> str:
@@ -151,18 +184,35 @@ class SharedChunkCache:
         return self._tenant_usage.get(tenant, 0)
 
     def peek(self, dataset: str, encoded_cid: str) -> Optional[Chunk]:
-        """Resident chunk for a read, whoever admitted it (no ref taken).
+        """RAM-resident chunk for a read, whoever admitted it (no ref
+        taken, no cost charged).
 
         The shared-tier read hit: a task whose own master does not hold
         the chunk can still serve the file from another task's resident
         copy.  Touches LRU order; the caller counts the hit via
-        :meth:`note_cross_task_read`.
+        :meth:`note_cross_task_read`.  Disk-resident chunks are *not*
+        returned here — a free peek must not hide a disk read; use
+        :meth:`read_resident` for those.
         """
-        entry = self._entries.get(self._key(dataset, encoded_cid))
-        if entry is None:
-            return None
-        self._entries.move_to_end(self._key(dataset, encoded_cid))
-        return entry.chunk
+        got = self.store.get(self._key(dataset, encoded_cid))
+        return got[0] if got is not None else None
+
+    def disk_resident(self, dataset: str, encoded_cid: str) -> bool:
+        """Whether the chunk is resident on the disk tier only."""
+        return self.store.tier_of(self._key(dataset, encoded_cid)) == "disk"
+
+    def read_resident(
+        self, dataset: str, encoded_cid: str
+    ) -> Generator[Event, Any, Optional[Chunk]]:
+        """Cost-charging read of a resident chunk on *any* tier.
+
+        Disk-resident chunks pay the device read (+ decompress) and are
+        promoted back to RAM when node memory allows — the tier hit that
+        makes datasets larger than memory serveable without a backend
+        round-trip.
+        """
+        got = yield from self.store.load(self._key(dataset, encoded_cid))
+        return got[0] if got is not None else None
 
     def note_cross_task_read(self) -> None:
         self._stats.cross_task_reads += 1
@@ -192,27 +242,40 @@ class SharedChunkCache:
             entry.qos = "interactive"
         return True
 
-    def _evict(self, key: str) -> None:
-        entry = self._entries.pop(key)
-        if self.node.alive:
-            self.node.memory.put(entry.nbytes)
+    def _forget(self, key: str) -> None:
+        """Drop the reference entry for a chunk the store no longer
+        holds in RAM-or-disk (eviction); victims are refcount-0, so no
+        tenant usage needs releasing."""
+        if self._entries.pop(key, None) is None:
+            return
         self._stats.evictions += 1
         rec = self.recorder
         if rec is not None:
             rec.count("shared_evict", "shared_tier")
 
-    def _make_room(self, nbytes: int, qos: str) -> bool:
-        """Free node memory for a cold admission by reclaiming the warm
-        pool (refcount-0 chunks, LRU-first), honouring QoS: ``batch``
-        may not evict chunks the interactive class left warm."""
-        if self.node.memory.level >= nbytes:
-            return True
-        needed = nbytes - self.node.memory.level
+    def _evictable_for(self, qos: str):
+        """Predicate gating which chunks an admission may push out:
+        referenced chunks never, and ``batch`` may not reclaim the
+        interactive warm pool."""
+        def ok(key: str) -> bool:
+            entry = self._entries.get(key)
+            if entry is None:
+                return True
+            if entry.tasks:
+                return False
+            return qos == "interactive" or entry.qos != "interactive"
+        return ok
+
+    def _pick_victims(self, needed: int, qos: str):
+        """Refcount-0 RAM chunks to displace, LRU-first, honouring QoS:
+        ``batch`` may not touch chunks the interactive class left warm.
+        Returns ``(victims, freed_bytes, blocked_by_qos)``."""
         victims: List[str] = []
         blocked_by_qos = False
         freed = 0
-        for key, entry in self._entries.items():
-            if entry.tasks:
+        for key in self.store.ram_lru():
+            entry = self._entries.get(key)
+            if entry is None or entry.tasks:
                 continue
             if qos != "interactive" and entry.qos == "interactive":
                 blocked_by_qos = True
@@ -221,15 +284,39 @@ class SharedChunkCache:
             freed += entry.nbytes
             if freed >= needed:
                 break
-        if freed < needed:
-            if blocked_by_qos:
+        return victims, freed, blocked_by_qos
+
+    def _place(
+        self, key: str, chunk: Chunk, nbytes: int, qos: str
+    ) -> Generator[Event, Any, Optional[str]]:
+        """Find a home for a cold admission; returns its tier or ``None``.
+
+        Memory pressure displaces refcount-0 RAM chunks LRU-first
+        (QoS-governed): the RAM store evicts them outright, the tiered
+        store *demotes* them to disk and overflows the admission itself
+        to disk when RAM still cannot cover it.  A refusal moves the
+        ``qos_denied`` / ``skipped_no_memory`` counter, exactly like
+        the eviction scan it replaces.
+        """
+        room = self.node.memory.level
+        blocked = False
+        if room < nbytes:
+            victims, freed, blocked = self._pick_victims(nbytes - room, qos)
+            if freed >= nbytes - room:
+                allowed = self._evictable_for(qos)
+                for vkey in victims:
+                    outcome = yield from self.store.displace(vkey, allowed)
+                    if outcome == "evicted":
+                        self._forget(vkey)
+        tier = yield from self.store.put(
+            key, chunk, nbytes, self._evictable_for(qos)
+        )
+        if tier is None:
+            if blocked:
                 self._stats.qos_denied += 1
             else:
                 self._stats.skipped_no_memory += 1
-            return False
-        for key in victims:
-            self._evict(key)
-        return True
+        return tier
 
     def acquire(
         self, master, encoded_cid: str
@@ -259,12 +346,12 @@ class SharedChunkCache:
             if entry is not None:
                 if not self._charge_ref(entry, task, tenant, qos):
                     return None
-                self._entries.move_to_end(key)
+                self.store.touch(key)
                 self._stats.warm_admissions += 1
                 rec = self.recorder
                 if rec is not None:
                     rec.count("shared_warm_admit", "shared_tier")
-                return entry.chunk, entry.nbytes
+                return self.store.chunk_object(key), entry.nbytes
             pending = self._inflight.get(key)
             if pending is None:
                 break
@@ -287,11 +374,11 @@ class SharedChunkCache:
             if not self._quota_room(tenant, nbytes):
                 self._stats.quota_rejections += 1
                 return None
-            if not self._make_room(nbytes, qos):
-                return None
-            yield self.node.memory.get(nbytes)
             chunk = Chunk.decode(blob)
-            entry = _Entry(chunk=chunk, nbytes=nbytes, qos=qos)
+            tier = yield from self._place(key, chunk, nbytes, qos)
+            if tier is None:
+                return None
+            entry = _Entry(nbytes=nbytes, qos=qos)
             entry.tasks.add(task)
             entry.tenants[tenant] = 1
             self._entries[key] = entry
@@ -331,9 +418,9 @@ class SharedChunkCache:
             entry = self._entries.get(key)
             if entry is not None:
                 if self._charge_ref(entry, task, tenant, qos):
-                    self._entries.move_to_end(key)
+                    self.store.touch(key)
                     self._stats.warm_admissions += 1
-                    held[cid] = (entry.chunk, entry.nbytes)
+                    held[cid] = (self.store.chunk_object(key), entry.nbytes)
                 continue
             if key in self._inflight:
                 self._stats.coalesced_pulls += 1
@@ -355,20 +442,20 @@ class SharedChunkCache:
                     if not self._quota_room(tenant, nbytes):
                         self._stats.quota_rejections += 1
                         continue
-                    if not self._make_room(nbytes, qos):
+                    chunk = Chunk.decode(blob)
+                    key = self._key(master.dataset, cid)
+                    tier = yield from self._place(key, chunk, nbytes, qos)
+                    if tier is None:
                         continue
-                    yield self.node.memory.get(nbytes)
-                    entry = _Entry(
-                        chunk=Chunk.decode(blob), nbytes=nbytes, qos=qos
-                    )
+                    entry = _Entry(nbytes=nbytes, qos=qos)
                     entry.tasks.add(task)
                     entry.tenants[tenant] = 1
-                    self._entries[self._key(master.dataset, cid)] = entry
+                    self._entries[key] = entry
                     self._tenant_usage[tenant] = (
                         self._tenant_usage.get(tenant, 0) + nbytes
                     )
                     self._stats.cold_admissions += 1
-                    held[cid] = (entry.chunk, nbytes)
+                    held[cid] = (chunk, nbytes)
         finally:
             for cid, done in zip(fetch, dones):
                 del self._inflight[self._key(master.dataset, cid)]
@@ -409,23 +496,53 @@ class SharedChunkCache:
         return released
 
     def purge_crashed(self) -> int:
-        """Node died: forget everything without returning memory (the
-        node's memory container died with it).  Refcounts for the dead
-        node are rebuilt by the survivors' recovery admissions."""
+        """Node died: forget RAM residency without returning memory (the
+        node's memory container died with it).  The *disk tier
+        survives* the crash: disk-resident entries are kept with their
+        refcounts cleared, so post-restore re-admissions warm from disk
+        instead of re-fetching from the backend.  Returns entries
+        dropped (RAM-only residents)."""
         if self.node.alive:
             return 0
-        n = len(self._entries)
-        self._entries.clear()
+        before = len(self._entries)
+        self.store.crash()
+        kept: "OrderedDict[str, _Entry]" = OrderedDict()
+        for key, entry in self._entries.items():
+            if self.store.tier_of(key) == "disk":
+                entry.tasks.clear()
+                entry.tenants.clear()
+                kept[key] = entry
+        self._entries = kept
         self._inflight.clear()
         self._tenant_usage.clear()
-        return n
+        return before - len(kept)
 
 
 class SharedCacheRegistry:
-    """Deployment-wide shared-tier handle: per-node caches + quotas."""
+    """Deployment-wide shared-tier handle: per-node caches + quotas.
 
-    def __init__(self, env: Environment) -> None:
+    The store keyword arguments mirror the ``DieselConfig`` fields
+    ``cache_store`` / ``disk_tier_bytes`` / ``disk_latency_s`` /
+    ``disk_bandwidth_bps`` / ``chunk_compression``; every lazily
+    created node cache builds its residency store from this one spec.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        *,
+        store: str = "ram",
+        disk_tier_bytes: int = 0,
+        disk_latency_s: float = DEFAULT_DISK_LATENCY_S,
+        disk_bandwidth_bps: float = DEFAULT_DISK_BANDWIDTH_BPS,
+        chunk_compression: bool = False,
+        compression_seed: int = 0,
+    ) -> None:
         self.env = env
+        self.store_spec = make_spec(
+            store, disk_tier_bytes, disk_latency_s,
+            disk_bandwidth_bps, chunk_compression, compression_seed,
+        )
         self._caches: Dict[str, SharedChunkCache] = {}  # node name → cache
         self._quotas: Dict[str, int] = {}  # tenant → per-node byte quota
         self._next_task = 0
@@ -497,6 +614,36 @@ class SharedCacheRegistry:
             for f in fields(total):
                 setattr(total, f.name, getattr(total, f.name) + getattr(snap, f.name))
         return total
+
+    @property
+    def store_stats(self) -> ChunkStoreStats:
+        """Tier counters summed over every node cache's chunk store."""
+        total = ChunkStoreStats()
+        for cache in self._caches.values():
+            snap = cache.store.stats
+            for f in fields(total):
+                setattr(total, f.name, getattr(total, f.name) + getattr(snap, f.name))
+        return total
+
+    def tier_rows(self) -> List[dict]:
+        """Per-node tier residency summary (``dlcmd tiers`` / bench rows)."""
+        rows = []
+        for cache in self.node_caches:
+            s = cache.store.stats
+            rows.append({
+                "node": cache.node.name,
+                "store": cache.store.kind,
+                "chunks_ram": s.chunks_ram,
+                "chunks_disk": s.chunks_disk,
+                "ram_bytes": s.ram_bytes,
+                "disk_bytes": s.disk_bytes,
+                "disk_stored_bytes": s.disk_stored_bytes,
+                "ram_hits": s.ram_hits,
+                "disk_hits": s.disk_hits,
+                "promotions": s.promotions,
+                "demotions": s.demotions,
+            })
+        return rows
 
     @property
     def recorder(self):

@@ -24,6 +24,7 @@ Subcommands::
     dlcmd locality                                placement probe summary
     dlcmd scale                                   engine throughput probe
     dlcmd tenants                                 shared-tier tenant usage
+    dlcmd tiers                                   RAM/NVMe tier residency probe
 
 Every data-mutating command rewrites the workspace file.
 
@@ -171,6 +172,29 @@ def _build_parser() -> argparse.ArgumentParser:
         "-q", "--quota", type=int, default=0,
         help="per-tenant per-node byte quota for the probe "
              "(default: %(default)s = unlimited)",
+    )
+
+    p = sub.add_parser(
+        "tiers",
+        help="tiered-store probe: cache the dataset on nodes with a "
+             "small RAM budget + a simulated NVMe tier, read one "
+             "epoch, report per-node tier residency and hit counters",
+    )
+    p.add_argument(
+        "-m", "--ram", type=int, default=4 * 2**20,
+        help="RAM budget per probe node in bytes (default: "
+             "%(default)s = 4 MiB; size it below the dataset to see "
+             "the disk tier absorb the overflow)",
+    )
+    p.add_argument(
+        "--disk", type=int, default=0,
+        help="disk-tier capacity per node in stored bytes "
+             "(default: %(default)s = unbounded)",
+    )
+    p.add_argument(
+        "-z", "--compress", action="store_true",
+        help="compress chunks written to the disk tier (deterministic "
+             "per-chunk ratios, see docs/CACHE_TIERS.md)",
     )
     return parser
 
@@ -521,6 +545,84 @@ def cmd_tenants(ws: DieselWorkspace, dataset: str, args) -> str:
     return "\n".join(lines)
 
 
+def cmd_tiers(ws: DieselWorkspace, dataset: str, args) -> str:
+    """Per-node RAM/NVMe residency over an ephemeral tiered-cache probe.
+
+    Spins up two probe nodes whose RAM budget is ``--ram`` bytes each,
+    caches the dataset through a tiered-store shared registry, reads
+    every file once, and reports where the chunks ended up and which
+    tier served the reads.  Nothing about the workspace is mutated.
+    """
+    from repro.cluster.node import Node
+    from repro.core.dist_cache import CacheClient, TaskCache
+    from repro.core.shared_cache import SharedCacheRegistry
+
+    if args.ram < 1:
+        raise ReproError("--ram must be >= 1")
+    if args.disk < 0:
+        raise ReproError("--disk must be >= 0")
+    sync = ws.client(dataset)
+    index = sync.load_meta(sync.save_meta())
+    if not index.all_paths():
+        raise ReproError(f"dataset {dataset!r} has no files to probe")
+    env, fabric = ws.tb.env, ws.tb.fabric
+    nodes = [
+        fabric.add_node(Node(env, f"tiers-n{i}", memory_bytes=args.ram))
+        for i in range(2)
+    ]
+    registry = SharedCacheRegistry(
+        env, store="tiered", disk_tier_bytes=args.disk,
+        chunk_compression=args.compress,
+    )
+    cache = TaskCache(
+        env, fabric, ws.server, dataset,
+        [CacheClient(f"tiers-c{i}", n, i) for i, n in enumerate(nodes)],
+        policy="oneshot", shared=registry,
+    )
+
+    def probe():
+        yield from cache.register()
+        yield from cache.wait_warm()
+        cc = cache.clients[0]
+        for path in index.all_paths():
+            yield from cache.read_file(cc, index.lookup(path))
+
+    proc = env.process(probe())
+    env.run(until=proc)
+
+    lines = [
+        f"tiered-store probe: dataset {dataset!r}, 2 node(s), "
+        f"{format_bytes(args.ram)} RAM each, disk "
+        f"{format_bytes(args.disk) if args.disk else 'unbounded'}, "
+        f"compression {'on' if args.compress else 'off'}"
+    ]
+    lines.append(
+        "node      chunks ram/disk      ram bytes     disk bytes   "
+        "stored       hits ram/disk"
+    )
+    for row in registry.tier_rows():
+        lines.append(
+            f"{row['node']:<9} {row['chunks_ram']:>6} /{row['chunks_disk']:>5}"
+            f"   {format_bytes(row['ram_bytes']):>12} "
+            f"{format_bytes(row['disk_bytes']):>14}   "
+            f"{format_bytes(row['disk_stored_bytes']):>10} "
+            f"{row['ram_hits']:>8} /{row['disk_hits']:>5}"
+        )
+    s = registry.store_stats
+    lines.append(
+        f"tier traffic: {s.disk_admits} disk admits, {s.promotions} "
+        f"promotions, {s.demotions} demotions, {s.disk_evictions} "
+        f"capacity evictions, {s.compress_ops} chunks compressed"
+    )
+    if s.disk_stored_bytes and args.compress:
+        lines.append(
+            f"compression: {format_bytes(s.disk_bytes)} logical stored "
+            f"as {format_bytes(s.disk_stored_bytes)} "
+            f"(x{s.disk_bytes / s.disk_stored_bytes:.2f})"
+        )
+    return "\n".join(lines)
+
+
 def cmd_verify(ws: DieselWorkspace, dataset: str, args) -> str:
     """Check every indexed file resolves through the KV metadata.
 
@@ -563,6 +665,7 @@ _COMMANDS = {
     "locality": (cmd_locality, False),
     "scale": (cmd_scale, False),
     "tenants": (cmd_tenants, False),
+    "tiers": (cmd_tiers, False),
 }
 
 

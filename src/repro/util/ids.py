@@ -25,6 +25,7 @@ provided for compatibility; it requires decoding before sorting.
 from __future__ import annotations
 
 import base64
+import hashlib
 import os
 import threading
 import uuid
@@ -142,6 +143,27 @@ def _next_default_pid() -> int:
     with _instance_lock:
         _instance_counter += 1
         return (os.getpid() + _instance_counter) % (1 << (8 * _PID_BYTES))
+
+
+def sim_id_generator(
+    name: str, clock: "callable[[], float] | None" = None
+) -> "ChunkIdGenerator":
+    """A :class:`ChunkIdGenerator` whose machine/pid derive from ``name``.
+
+    The default generator identifies the writer by host MAC and OS pid —
+    correct for real deployments, but it makes chunk IDs (and anything
+    hashed from them, e.g. per-chunk compression ratios) vary from one
+    interpreter run to the next.  Simulated writers have a stable name
+    instead, so hashing the name into the machine/pid fields keeps the
+    Table 1 uniqueness guarantee across writers *and* makes every sim
+    run bit-identical.
+    """
+    digest = hashlib.blake2b(name.encode("utf-8"), digest_size=9).digest()
+    return ChunkIdGenerator(
+        machine=digest[:_MACHINE_BYTES],
+        pid=int.from_bytes(digest[_MACHINE_BYTES:], "big"),
+        clock=clock,
+    )
 
 
 class ChunkIdGenerator:

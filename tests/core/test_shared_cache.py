@@ -326,6 +326,109 @@ class TestQosEviction:
         assert tier.resident("ds", cids[0])
 
 
+class TestLruEvictionOrder:
+    def test_eviction_takes_least_recently_used_not_insertion_order(self):
+        """Regression: the eviction scan used to walk the entry table in
+        insertion order, so a warm chunk that was just re-read could be
+        evicted before one untouched since admission."""
+        dep, registry, _, files, index = shared_rig(n_tasks=0)
+        node = dep.fabric.add_node(Node(dep.env, "tiny"))
+        tier = registry.for_node(node)
+        cids = [c.encode() for c in index.chunk_ids()]
+        warmer = fake_master(dep.server, "ds", "warmer", qos="interactive")
+
+        def admit(master, cid):
+            return (yield from tier.acquire(master, cid))
+
+        # Insertion order: c0 then c1; both left refcount-0 (warm).
+        assert dep.run(admit(warmer, cids[0])) is not None
+        assert dep.run(admit(warmer, cids[1])) is not None
+        tier.release_task("warmer", "default")
+        # Re-reading c0 must refresh its recency: LRU is now [c1, c0].
+        toucher = fake_master(dep.server, "ds", "toucher", qos="interactive")
+        assert dep.run(admit(toucher, cids[0])) is not None
+        tier.release_task("toucher", "default")
+
+        def sip():
+            yield node.memory.get(node.memory.level - 64)
+
+        dep.run(sip())
+        # Under pressure the admission evicts c1 (LRU), not c0 (first-in).
+        other = fake_master(dep.server, "ds", "iq", qos="interactive")
+        assert dep.run(admit(other, cids[2])) is not None
+        assert tier.resident("ds", cids[0])
+        assert not tier.resident("ds", cids[1])
+        assert tier.stats.evictions >= 1
+
+
+class TestTieredSharedTier:
+    def _tiered_rig(self, **store_kw):
+        """A tiered-store registry plus a small node under pressure."""
+        dep, registry_unused, _, files, index = shared_rig(n_tasks=0)
+        registry = SharedCacheRegistry(
+            dep.env, store="tiered", **store_kw
+        )
+        node = dep.fabric.add_node(Node(dep.env, "tiny"))
+        tier = registry.for_node(node)
+        cids = [c.encode() for c in index.chunk_ids()]
+        return dep, registry, tier, node, cids
+
+    def _drain(self, dep, node, leave=64):
+        def sip():
+            yield node.memory.get(node.memory.level - leave)
+
+        dep.run(sip())
+
+    def test_cold_admission_overflows_to_disk_under_pressure(self):
+        dep, registry, tier, node, cids = self._tiered_rig()
+        self._drain(dep, node)
+        batch = fake_master(dep.server, "ds", "bq", qos="batch")
+
+        def admit(cid):
+            return (yield from tier.acquire(batch, cid))
+
+        assert dep.run(admit(cids[0])) is not None
+        assert tier.resident("ds", cids[0])
+        assert tier.disk_resident("ds", cids[0])
+        assert tier.stats.skipped_no_memory == 0
+        assert registry.store_stats.disk_admits == 1
+
+    def test_pressure_demotes_warm_chunk_but_not_pinned_interactive(self):
+        dep, registry, tier, node, cids = self._tiered_rig()
+        inter = fake_master(dep.server, "ds", "iq", qos="interactive")
+        batch = fake_master(dep.server, "ds", "bq", qos="batch")
+        batch2 = fake_master(dep.server, "ds", "bq2", qos="batch")
+
+        def admit(master, cid):
+            return (yield from tier.acquire(master, cid))
+
+        # cids[0] is pinned (interactive, still referenced); cids[1] is
+        # a refcount-0 batch warm chunk.
+        assert dep.run(admit(inter, cids[0])) is not None
+        assert dep.run(admit(batch, cids[1])) is not None
+        tier.release_task("bq", "default")
+        self._drain(dep, node)
+        # The batch admission demotes the warm chunk to disk instead of
+        # forgetting it — and never touches the pinned interactive one.
+        assert dep.run(admit(batch2, cids[2])) is not None
+        assert tier.store.tier_of(f"ds/{cids[0]}") == "ram"
+        assert tier.disk_resident("ds", cids[1])
+        assert tier.resident("ds", cids[1])  # still a shared-tier entry
+        assert tier.stats.evictions == 0
+        assert tier.stats.qos_denied == 0
+        assert registry.store_stats.demotions == 1
+
+        # The demoted chunk still serves reads (charging the disk).
+        def read():
+            t0 = dep.env.now
+            chunk = yield from tier.read_resident("ds", cids[1])
+            assert chunk is not None
+            assert dep.env.now > t0
+
+        dep.run(read())
+        assert registry.store_stats.disk_hits == 1
+
+
 class TestRecoveryRefcounts:
     def test_recover_rebuilds_refcounts_without_duplicate_chunks(self):
         dep, registry, (c0, c1), files, index = shared_rig(n_nodes=3)

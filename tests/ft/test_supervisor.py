@@ -242,3 +242,90 @@ class TestSharedTierRecovery:
             assert (r["shared_cold_admissions"]
                     + r["shared_warm_admissions"]
                     >= r["chunks_reloaded"])
+
+
+class TestDiskTierRecovery:
+    def _tiered_rig(self, ram_bytes=4 * 1024):
+        """Shared tiered registry over two small-memory compute nodes.
+
+        One node is drained so every chunk it admits overflows to the
+        simulated NVMe tier — the residency that must survive a crash.
+        """
+        from repro.cluster.node import Node
+        from repro.core.shared_cache import SharedCacheRegistry
+
+        dep = build_deployment(n_client_nodes=1)
+        files = small_files(24, size=2048)
+        writer = write_dataset(dep, "ds", files, chunk_size=8 * 1024)
+
+        def load():
+            blob = yield from writer.save_meta()
+            yield from writer.load_meta(blob)
+
+        dep.run(load())
+        registry = SharedCacheRegistry(dep.env, store="tiered")
+        t0 = dep.fabric.add_node(Node(dep.env, "tier0"))
+        t1 = dep.fabric.add_node(Node(dep.env, "tier1"))
+
+        def drain():  # tier1 has no RAM to spare: admissions go to disk
+            yield t1.memory.get(t1.memory.level - 64)
+
+        dep.run(drain())
+        clients = [CacheClient("cc0", t0, 0), CacheClient("cc1", t1, 1)]
+        cache = TaskCache(dep.env, dep.fabric, dep.server, "ds", clients,
+                          shared=registry)
+        dep.run(cache.register())
+        dep.run(cache.wait_warm())
+        return dep, registry, cache, clients, files, writer.index, t1
+
+    def test_disk_tier_survives_crash_and_supervised_restart(self):
+        dep, registry, cache, clients, files, index, t1 = self._tiered_rig()
+        tier1 = registry.for_node(t1)
+        disk_before = tier1.store.stats.chunks_disk
+        assert disk_before > 0  # the drained node overflowed to disk
+
+        det = FailureDetector(dep.env, heartbeat_interval_s=0.02,
+                              failure_timeout_s=0.05)
+        sup = CacheSupervisor(det, cache, fanout=2)
+        det.start()
+
+        def scenario():
+            yield dep.env.timeout(0.05)
+            t1.kill()
+            yield dep.env.timeout(2.0)
+
+        dep.run(scenario())
+        det.stop()
+        dep.env.run()
+        assert len(sup.recoveries) == 1
+        assert t1.name not in cache.masters
+        # The crash forgot tier1's RAM residency but kept its disk tier.
+        assert tier1.store.stats.chunks_disk == disk_before
+        assert tier1.stats.chunks_resident == disk_before
+
+        # Node restarts; a fresh task re-registers over both nodes.
+        t1.restore()
+        clients2 = [CacheClient("r0", clients[0].node, 0),
+                    CacheClient("r1", t1, 1)]
+        cache2 = TaskCache(dep.env, dep.fabric, dep.server, "ds", clients2,
+                           shared=registry)
+        fetches = dep.server.stats.chunk_reads
+        dep.run(cache2.register())
+        dep.run(cache2.wait_warm())
+        # Every chunk was resident somewhere (tier0 RAM after the heal,
+        # tier1 disk across the restart): zero backend re-fetches.
+        assert dep.server.stats.chunk_reads == fetches
+        assert cache2.cached_chunks() == len(index.chunk_ids())
+
+        # Reads through the restarted node come off its disk tier.
+        hits_before = registry.store_stats.disk_hits
+
+        def epoch():
+            for path, expected in files.items():
+                data = yield from cache2.read_file(clients2[1],
+                                                   index.lookup(path))
+                assert data == expected
+
+        dep.run(epoch())
+        assert registry.store_stats.disk_hits > hits_before
+        assert cache2.stats.disk_hits > 0

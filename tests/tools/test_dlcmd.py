@@ -209,3 +209,30 @@ class TestDlcmd:
     def test_tenants_empty_dataset_errors(self, tmp_path, capsys):
         assert run(tmp_path, "tenants") == 1
         assert "no such dataset" in capsys.readouterr().err
+
+    def test_tiers_probe_reports_disk_overflow(self, tmp_path, local_tree,
+                                               capsys):
+        run(tmp_path, "put", str(local_tree), "/t")
+        capsys.readouterr()
+        # A RAM budget far below the dataset: chunks overflow to disk.
+        assert run(tmp_path, "tiers", "-m", "64") == 0
+        out = capsys.readouterr().out
+        assert "tiered-store probe" in out
+        assert "tiers-n0" in out and "tiers-n1" in out
+        assert "disk admits" in out
+        assert "compression off" in out
+
+    def test_tiers_compression_summary(self, tmp_path, local_tree, capsys):
+        run(tmp_path, "put", str(local_tree), "/t")
+        capsys.readouterr()
+        assert run(tmp_path, "tiers", "-m", "64", "-z") == 0
+        out = capsys.readouterr().out
+        assert "compression on" in out
+        assert "chunks compressed" in out
+        assert "logical stored as" in out
+
+    def test_tiers_rejects_bad_args(self, tmp_path, local_tree, capsys):
+        run(tmp_path, "put", str(local_tree), "/t")
+        capsys.readouterr()
+        assert run(tmp_path, "tiers", "-m", "0") == 1
+        assert "--ram must be >= 1" in capsys.readouterr().err
