@@ -1,0 +1,40 @@
+"""Elastic membership, hedged reads and chaos: the hostile-world floors."""
+
+import pytest
+
+from repro.bench.experiments import fig_elastic
+
+
+@pytest.mark.benchmark(group="elastic")
+def test_elastic(experiment):
+    result = experiment(fig_elastic)
+    # Scale-up mid-epoch: the stolen partitions warm-admit from peers —
+    # zero backend fetches means no cold restart — and the next epoch
+    # reaches steady-state node-local reads over the grown membership.
+    scale = result.one(event="scale_up")
+    assert scale["backend_fetches_during_scale"] == 0
+    assert scale["warmed_chunks"] == scale["moved_chunks"]
+    assert scale["peer_warmed"] > 0
+    post = result.one(event="epoch", epoch=1)
+    assert post["workers"] == 4
+    assert post["local_frac"] >= 0.75
+    assert post["epoch_backend_fetches"] == 0
+    # Churn drains: every leave/rejoin cycle lands its chunks on a
+    # successor before ownership flips — nothing lost, no client read
+    # ever fails.
+    churn = result.one(event="churn")
+    assert churn["lost_chunks"] == 0
+    assert churn["failed_reads"] == 0
+    assert churn["drained_chunks"] > 0
+    assert churn["scale_downs"] == churn["cycles"]
+    # Straggler hedging: with one hostile NIC, hedged reads cut p99 by
+    # at least 2x over hedging-off at under 5% duplicate transfers.
+    gain = result.one(event="straggler_gain")
+    assert gain["p99_ratio"] >= 2.0
+    assert gain["hedges_fired"] > 0
+    assert gain["backup_wins"] > 0
+    assert gain["duplicate_rate"] < 0.05
+    # Flash crowd: a simultaneous stampede of tasks onto one dataset
+    # stays within 1.2x of a single task's backend fetches.
+    crowd = result.one(event="flash_crowd")
+    assert crowd["fetch_ratio_vs_single"] <= 1.2

@@ -2391,6 +2391,359 @@ def capacity(
     return result
 
 
+def fig_elastic(
+    n_files: int = 192,
+    file_size: int = 8 * KB,
+    chunk_size: int = 64 * KB,
+    group_size: int = 2,
+    straggler_slow: float = 10.0,
+    straggler_extra_s: float = 1e-3,
+    churn_cycles: int = 2,
+    churn_passes: int = 4,
+    crowd_tasks: int = 16,
+) -> ExperimentResult:
+    """Elastic membership + hostile-world chaos (scale, stragglers, crowds).
+
+    Four phases, each on a fresh testbed:
+
+    1. **Scale-up mid-epoch** — a locality-placed task cache on 2 of 4
+       nodes serves an affinity-scheduled epoch; halfway through,
+       ``scale_up`` adds masters on the idle nodes, which warm-admit
+       their stolen partitions peer-to-peer (zero backend fetches — no
+       cold restart).  The committed epoch finishes untouched; the next
+       epoch is owner-bucketed over all 4 masters and reaches
+       steady-state node-local reads.
+    2. **Churn drain** — a :class:`~repro.cluster.failure.ChaosSchedule`
+       churn loop repeatedly drains one node out (``scale_down``) and
+       re-admits it (``scale_up``) while readers hammer the dataset.
+       Every drained chunk lands on a successor before ownership flips:
+       0 lost chunks, 0 failed reads.
+    3. **Straggler hedging** — one node's NIC turns hostile (``slow ×``
+       + per-transfer extra latency).  A/B: the same read storm with
+       hedged reads off vs on (delay calibrated at 2× the healthy p99).
+       Hedging fires a backup to a replica/the backend after the delay
+       and cancels the loser: p99 collapses at near-zero duplicate
+       transfers.
+    4. **Flash crowd** — ``crowd_tasks`` tasks stampede one dataset
+       simultaneously (``ChaosSchedule.flash_crowd``) through the
+       shared chunk tier: cross-task admission + single-flight keep
+       backend fetches within 1.2× of a single task's.
+    """
+    from repro.bench.reporting import stats_row
+    from repro.cluster.failure import ChaosSchedule
+    from repro.core.shared_cache import SharedCacheRegistry
+    from repro.dlt.dataloader import EpochScheduler
+    from repro.dlt.sweep import build_sweep_task
+
+    result = ExperimentResult(
+        "elastic & hostile worlds",
+        "live scale-up/down, churn drains, hedged reads, flash crowds",
+    )
+    files = {
+        f"/ds/f{i:05d}.jpg": bytes([i % 251]) * file_size
+        for i in range(n_files)
+    }
+
+    with timer(result):
+        # ------------------------------- phase 1: scale-up mid-epoch
+        tb = make_testbed(n_compute=4)
+        add_diesel(tb, n_servers=1)
+        bulk_load_diesel(tb, "ds", files, chunk_size=chunk_size)
+        clients = [
+            diesel_client_with_snapshot(
+                tb, "ds", tb.compute_nodes[c], f"el{c}", rank=c
+            )
+            for c in range(2)
+        ]
+        cache = TaskCache(
+            tb.env, tb.fabric, tb.diesel, "ds",
+            [c.as_cache_client() for c in clients],
+            policy="oneshot", calibration=tb.cal, placement="locality",
+        )
+        tb.run(cache.register())
+        tb.run(cache.wait_warm())
+        index = clients[0].index
+        worker_nodes = [n.name for n in tb.compute_nodes]
+        scheduler = EpochScheduler(
+            index.files_by_chunk(), group_size, worker_nodes,
+            cache=cache, seed=7,
+        )
+        joiners = [
+            CacheClient(f"el{r}", tb.compute_nodes[r], r) for r in (2, 3)
+        ]
+        read_ccs = [c.as_cache_client() for c in clients] + joiners
+        scale_rows: List[dict] = []
+
+        def worker(epoch, w):
+            shard = scheduler.shard(epoch, w)
+            for path in shard.files:
+                yield from cache.read_file(read_ccs[w], index.lookup(path))
+
+        def controller():
+            # Trigger once the epoch is ~half served (workload-progress
+            # trigger, like FailureInjector.on_trigger).
+            while cache.local_hits + cache.remote_hits < n_files // 2:
+                yield tb.env.timeout(1e-4)
+            before = tb.diesel.stats.chunk_reads
+            res = yield from cache.scale_up(joiners)
+            res["backend_fetches_during_scale"] = (
+                tb.diesel.stats.chunk_reads - before
+            )
+            scale_rows.append(res)
+
+        t0 = tb.env.now
+        tb.run_all(
+            [worker(0, w) for w in range(4)] + [controller()]
+        )
+        epoch0_s = tb.env.now - t0
+        served0 = cache.local_hits + cache.remote_hits
+        local0 = cache.local_hits
+        scale = scale_rows[0]
+        result.add(
+            event="scale_up", nodes_before=2, nodes_after=4,
+            moved_chunks=scale["moved_chunks"],
+            warmed_chunks=scale["warmed_chunks"],
+            peer_warmed=scale["peer_warmed"],
+            backend_fetches_during_scale=
+                scale["backend_fetches_during_scale"],
+            membership_version=scale["membership_version"],
+        )
+        result.note(
+            f"scale-up mid-epoch: {scale['moved_chunks']} chunks "
+            f"re-partitioned, {scale['peer_warmed']} warm-admitted from "
+            f"peers, {scale['backend_fetches_during_scale']} backend "
+            "fetches (no cold restart)"
+        )
+        fetches_before = tb.diesel.stats.chunk_reads
+        t0 = tb.env.now
+        tb.run_all([worker(1, w) for w in range(4)])
+        epoch1_s = tb.env.now - t0
+        served1 = (cache.local_hits + cache.remote_hits) - served0
+        local1 = cache.local_hits - local0
+        local_frac0 = local0 / served0 if served0 else 0.0
+        local_frac1 = local1 / served1 if served1 else 0.0
+        result.add(
+            event="epoch", epoch=0, workers=2, epoch_read_s=epoch0_s,
+            local_frac=local_frac0,
+        )
+        result.add(
+            event="epoch", epoch=1, workers=4, epoch_read_s=epoch1_s,
+            local_frac=local_frac1,
+            epoch_backend_fetches=
+                tb.diesel.stats.chunk_reads - fetches_before,
+        )
+        result.note(
+            f"epoch after scale-up: {local_frac1:.0%} local reads over "
+            f"4 workers (was {local_frac0:.0%} over 2), "
+            f"{epoch1_s * 1e3:.2f}ms vs {epoch0_s * 1e3:.2f}ms"
+        )
+
+        # ----------------------------------- phase 2: churn drain loop
+        tb = make_testbed(n_compute=4)
+        add_diesel(tb, n_servers=1)
+        bulk_load_diesel(tb, "ds", files, chunk_size=chunk_size)
+        clients = [
+            diesel_client_with_snapshot(
+                tb, "ds", tb.compute_nodes[c], f"ch{c}", rank=c
+            )
+            for c in range(4)
+        ]
+        cache = TaskCache(
+            tb.env, tb.fabric, tb.diesel, "ds",
+            [c.as_cache_client() for c in clients],
+            policy="oneshot", calibration=tb.cal,
+        )
+        tb.run(cache.register())
+        tb.run(cache.wait_warm())
+        index = clients[0].index
+        churn_node = tb.compute_nodes[3]
+        losses: List[int] = []
+        rejoin = {"n": 0}
+
+        def down():
+            def run():
+                res = yield from cache.scale_down([churn_node])
+                losses.append(res["lost_chunks"])
+            return run()
+
+        def up():
+            rejoin["n"] += 1
+            cc = CacheClient(
+                f"ch3r{rejoin['n']}", churn_node, 100 + rejoin["n"]
+            )
+            def run():
+                yield from cache.scale_up([cc])
+            return run()
+
+        chaos = ChaosSchedule(tb.env).churn(
+            at=1e-4, cycles=churn_cycles, dwell_s=5e-4,
+            down=down, up=up, label="node3-churn",
+        )
+        chaos.start()
+        failed = [0]
+
+        def reader(w):
+            cc = clients[w].as_cache_client()
+            for _ in range(churn_passes):
+                for path, expected in files.items():
+                    data = yield from cache.read_file(
+                        cc, index.lookup(path)
+                    )
+                    if data != expected:
+                        failed[0] += 1
+
+        tb.run_all([reader(0), reader(1)])
+        tb.env.run()  # drain any still-running churn cycle
+        stats = cache.stats
+        result.add(
+            event="churn", cycles=churn_cycles,
+            reads=2 * churn_passes * n_files,
+            failed_reads=failed[0], lost_chunks=sum(losses),
+            drained_chunks=stats.drained_chunks,
+            scale_downs=stats.scale_downs, scale_ups=stats.scale_ups,
+            membership_version=cache.membership_version,
+            chaos_events=len(chaos.log),
+        )
+        result.note(
+            f"churn: {churn_cycles} leave/rejoin cycles under "
+            f"{2 * churn_passes * n_files} live reads — "
+            f"{stats.drained_chunks} chunks drained, "
+            f"{sum(losses)} lost, {failed[0]} failed reads"
+        )
+
+        # ------------------------------- phase 3: straggler hedging A/B
+        def straggler_run(hedge_on: bool) -> dict:
+            tb = make_testbed(n_compute=3)
+            add_diesel(tb, n_servers=1)
+            bulk_load_diesel(tb, "ds", files, chunk_size=chunk_size)
+            clients = [
+                diesel_client_with_snapshot(
+                    tb, "ds", tb.compute_nodes[c], f"st{c}", rank=c
+                )
+                for c in range(3)
+            ]
+            cache = TaskCache(
+                tb.env, tb.fabric, tb.diesel, "ds",
+                [c.as_cache_client() for c in clients],
+                policy="oneshot", calibration=tb.cal,
+            )
+            tb.run(cache.register())
+            tb.run(cache.wait_warm())
+            index = clients[0].index
+            cc = clients[0].as_cache_client()
+            lat: List[float] = []
+            paths = list(files)
+
+            def reads(order):
+                for path in order:
+                    t0 = tb.env.now
+                    yield from cache.read_file(cc, index.lookup(path))
+                    lat.append(tb.env.now - t0)
+
+            tb.run(reads(paths))  # healthy pass: calibrates the delay
+            healthy_p99 = float(np.percentile(lat, 99))
+            if hedge_on:
+                cache.configure_hedging(delay_s=2 * healthy_p99)
+            chaos = ChaosSchedule(tb.env).degrade_nic(
+                tb.compute_nodes[1], factor=straggler_slow,
+                extra_latency_s=straggler_extra_s,
+                at=tb.env.now, duration_s=60.0,
+            )
+            chaos.start()
+            lat.clear()
+            tb.run(reads(paths * 2))
+            row = {
+                "event": "straggler", "hedge": hedge_on,
+                "healthy_p99_s": healthy_p99,
+                "p50_s": float(np.percentile(lat, 50)),
+                "p99_s": float(np.percentile(lat, 99)),
+                "reads": len(lat),
+            }
+            if hedge_on:
+                hs = cache.hedge_stats
+                row.update(
+                    duplicate_rate=
+                        hs.duplicate_transfers / max(1, hs.reads),
+                    **{f"hedge_{k}": v for k, v in hs.to_dict().items()},
+                )
+            return row
+
+        off = straggler_run(False)
+        on = straggler_run(True)
+        result.add(**off)
+        result.add(**on)
+        p99_gain = off["p99_s"] / on["p99_s"] if on["p99_s"] else 0.0
+        result.add(
+            event="straggler_gain", p99_ratio=p99_gain,
+            duplicate_rate=on["duplicate_rate"],
+            hedges_fired=on["hedge_hedges_fired"],
+            backup_wins=on["hedge_backup_wins"],
+            cancelled_losers=on["hedge_cancelled_losers"],
+        )
+        result.note(
+            f"straggler ({straggler_slow:g}x NIC + "
+            f"{straggler_extra_s * 1e3:g}ms): hedging cut p99 "
+            f"{off['p99_s'] * 1e3:.2f}ms → {on['p99_s'] * 1e3:.2f}ms "
+            f"({p99_gain:.1f}x) — {on['hedge_hedges_fired']} hedges, "
+            f"{on['hedge_backup_wins']} backup wins, "
+            f"{on['duplicate_rate']:.1%} duplicate transfers"
+        )
+
+        # ----------------------------------- phase 4: flash crowd
+        def crowd_run(n_tasks: int) -> tuple:
+            tb = make_testbed(n_compute=4)
+            add_diesel(tb, n_servers=1)
+            bulk_load_diesel(tb, "ds", files, chunk_size=chunk_size)
+            registry = SharedCacheRegistry(tb.env)
+            tasks = []
+            for t in range(n_tasks):
+                tclients = [
+                    diesel_client_with_snapshot(
+                        tb, "ds", tb.compute_nodes[c], f"fc{t}w{c}",
+                        rank=c,
+                    )
+                    for c in range(4)
+                ]
+                tasks.append(build_sweep_task(
+                    f"crowd{t}", tb.env, tb.fabric, tb.diesel, "ds",
+                    tclients, shared=registry,
+                ))
+
+            def stampede(task):
+                yield from task.cache.register()
+                yield from task.cache.wait_warm()
+                index = task.clients[0].index
+                cc = task.cache.clients[0]
+                for path in index.all_paths():
+                    yield from task.cache.read_file(cc, index.lookup(path))
+
+            fetches_before = tb.diesel.stats.chunk_reads
+            chaos = ChaosSchedule(tb.env).flash_crowd(
+                0.0, lambda: [stampede(t) for t in tasks],
+                label=f"crowd{n_tasks}",
+            )
+            chaos.start()
+            tb.env.run()
+            return tb.diesel.stats.chunk_reads - fetches_before, registry
+
+        single_fetches, _ = crowd_run(1)
+        crowd_fetches, registry = crowd_run(crowd_tasks)
+        ratio = crowd_fetches / max(1, single_fetches)
+        result.add(
+            event="flash_crowd", tasks=crowd_tasks,
+            backend_chunk_fetches=crowd_fetches,
+            single_task_fetches=single_fetches,
+            fetch_ratio_vs_single=ratio,
+            **stats_row(registry.stats, prefix="shared_"),
+        )
+        result.note(
+            f"flash crowd: {crowd_tasks} tasks stampeding one dataset → "
+            f"{crowd_fetches} backend fetches "
+            f"({ratio:.2f}x single-task)"
+        )
+    return result
+
+
 #: Registry used by the CLI-style runner and the EXPERIMENTS.md generator.
 ALL_EXPERIMENTS = {
     "table2": table2_read_bandwidth,
@@ -2414,4 +2767,5 @@ ALL_EXPERIMENTS = {
     "scale": scale_engine,
     "sharing": model_selection,
     "capacity": capacity,
+    "elastic": fig_elastic,
 }

@@ -1,17 +1,27 @@
-"""Failure injection for cluster experiments.
+"""Failure injection and scenario-driven chaos for cluster experiments.
 
 The paper's failure experiments (Fig 6, Fig 11b, §4.2) kill cache
 instances mid-run.  :class:`FailureInjector` schedules node/device kills
 at simulated times or on iteration triggers, and records what it did so
 experiments can annotate their output.
+
+:class:`ChaosSchedule` goes beyond clean crashes into the *hostile
+world*: timed windows of slow nodes and degraded/lossy NICs, latency
+spikes, flash-crowd read bursts against one hot dataset, and churn
+loops (repeated scale-down/scale-up).  Scenarios are declared up front,
+``start()`` arms them, and every applied/reverted action lands in one
+ordered log so experiments and the ``dlcmd chaos`` probe can show what
+the cluster was suffering at any instant.  All timing and randomness
+run on the sim clock and a seeded RNG — chaos runs are reproducible.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Tuple
+import random
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from repro.cluster.node import Node
-from repro.sim.engine import Environment
+from repro.sim.engine import Environment, Process
 
 
 class FailureInjector:
@@ -68,3 +78,216 @@ class FailureInjector:
                 yield env.timeout(1e-3)
 
         self.env.process(watcher(self.env), name=f"watch:{node.name}")
+
+
+class ChaosSchedule:
+    """Declarative adversity: timed degradations, bursts, and churn.
+
+    Declare scenarios with the ``slow_node`` / ``degrade_nic`` /
+    ``latency_spikes`` / ``flash_crowd`` / ``churn`` / ``at`` builders
+    (each returns ``self`` for chaining), then call :meth:`start`.  One
+    sim process per scenario applies it at its scheduled time and — for
+    windowed scenarios — reverts it after ``duration_s``.
+
+    :attr:`log` records ``(time, action, target)`` for every applied and
+    reverted step; :meth:`active` lists the windows currently in force;
+    :meth:`describe` dumps the full declared schedule.
+    """
+
+    def __init__(self, env: Environment, seed: int = 0xC4A05) -> None:
+        self.env = env
+        self.rng = random.Random(seed)
+        self.injector = FailureInjector(env)
+        self.log: List[Tuple[float, str, str]] = []
+        self._scenarios: List[Dict[str, Any]] = []
+        self._active: Dict[int, Dict[str, Any]] = {}
+        self._procs: List[Process] = []
+        self._started = False
+
+    # ----------------------------------------------------------- builders
+    def _add(self, at: float, label: str, body) -> "ChaosSchedule":
+        if self._started:
+            raise RuntimeError("chaos schedule already started")
+        if at < 0:
+            raise ValueError("scenario time must be >= 0")
+        self._scenarios.append({"at": at, "label": label, "body": body})
+        return self
+
+    def slow_node(
+        self, node: Node, factor: float, at: float, duration_s: float
+    ) -> "ChaosSchedule":
+        """A straggler: ``node``'s NIC serializes ``factor``× slower for
+        ``duration_s`` starting at ``at`` (the node stays alive — no
+        failure detector will save you)."""
+
+        def body(sched: "ChaosSchedule"):
+            node.degrade(slow_factor=factor)
+            yield sched.env.timeout(duration_s)
+            node.undegrade()
+
+        return self._add(at, f"slow_node:{node.name}x{factor:g}", body)
+
+    def degrade_nic(
+        self,
+        node: Node,
+        factor: float,
+        extra_latency_s: float,
+        at: float,
+        duration_s: float,
+    ) -> "ChaosSchedule":
+        """A lossy/renegotiated NIC: bandwidth cut by ``factor`` *and*
+        per-transfer latency inflated by ``extra_latency_s`` (the
+        effective shape of retransmissions on a lossy link)."""
+
+        def body(sched: "ChaosSchedule"):
+            node.degrade(slow_factor=factor, extra_latency_s=extra_latency_s)
+            yield sched.env.timeout(duration_s)
+            node.undegrade()
+
+        return self._add(at, f"degrade_nic:{node.name}", body)
+
+    def latency_spikes(
+        self,
+        nodes: List[Node],
+        extra_latency_s: float,
+        at: float,
+        duration_s: float,
+        spikes: int = 3,
+        spike_s: float = 0.01,
+    ) -> "ChaosSchedule":
+        """``spikes`` short latency storms at seeded-random instants
+        inside the window, each adding ``extra_latency_s`` to every
+        transfer touching ``nodes`` for ``spike_s``."""
+        if spikes < 1:
+            raise ValueError("spikes must be >= 1")
+
+        def body(sched: "ChaosSchedule"):
+            offsets = sorted(
+                sched.rng.uniform(0.0, max(duration_s - spike_s, 0.0))
+                for _ in range(spikes)
+            )
+            t0 = sched.env.now
+            for off in offsets:
+                gap = t0 + off - sched.env.now
+                if gap > 0:
+                    yield sched.env.timeout(gap)
+                for n in nodes:
+                    n.degrade(
+                        slow_factor=n.nic_slow_factor,
+                        extra_latency_s=extra_latency_s,
+                    )
+                sched.log.append((sched.env.now, "spike_on", ",".join(
+                    n.name for n in nodes)))
+                yield sched.env.timeout(spike_s)
+                for n in nodes:
+                    n.degrade(slow_factor=n.nic_slow_factor)
+                sched.log.append((sched.env.now, "spike_off", ",".join(
+                    n.name for n in nodes)))
+
+        return self._add(at, f"latency_spikes:{len(nodes)}nodes", body)
+
+    def flash_crowd(
+        self,
+        at: float,
+        readers: Callable[[], List[Generator]],
+        label: str = "flash_crowd",
+    ) -> "ChaosSchedule":
+        """A read burst: at ``at``, ``readers()`` is called and every
+        generator it returns is launched simultaneously.  The scenario
+        window closes when all readers finish."""
+
+        def body(sched: "ChaosSchedule"):
+            procs = [
+                sched.env.process(gen, name=f"{label}:{i}")
+                for i, gen in enumerate(readers())
+            ]
+            if procs:
+                yield sched.env.all_of(procs)
+
+        return self._add(at, label, body)
+
+    def churn(
+        self,
+        at: float,
+        cycles: int,
+        dwell_s: float,
+        down: Callable[[], Optional[Generator]],
+        up: Callable[[], Optional[Generator]],
+        label: str = "churn",
+    ) -> "ChaosSchedule":
+        """A membership churn loop: ``cycles`` rounds of ``down()`` then,
+        ``dwell_s`` later, ``up()``, with ``dwell_s`` between rounds.
+        The callables may return a generator (driven inline, e.g. a
+        ``TaskCache.scale_down`` drain) or act immediately and return
+        ``None``."""
+        if cycles < 1:
+            raise ValueError("cycles must be >= 1")
+
+        def body(sched: "ChaosSchedule"):
+            for cycle in range(cycles):
+                gen = down()
+                if gen is not None:
+                    yield from gen
+                sched.log.append((sched.env.now, "churn_down", f"{label}#{cycle}"))
+                yield sched.env.timeout(dwell_s)
+                gen = up()
+                if gen is not None:
+                    yield from gen
+                sched.log.append((sched.env.now, "churn_up", f"{label}#{cycle}"))
+                yield sched.env.timeout(dwell_s)
+
+        return self._add(at, label, body)
+
+    def at(
+        self, when: float, action: Callable[[], Optional[Generator]], label: str
+    ) -> "ChaosSchedule":
+        """Escape hatch: run an arbitrary action (or drive the generator
+        it returns) at time ``when``."""
+
+        def body(sched: "ChaosSchedule"):
+            gen = action()
+            if gen is not None:
+                yield from gen
+
+        return self._add(when, label, body)
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> "ChaosSchedule":
+        """Arm every declared scenario (idempotent per schedule)."""
+        if self._started:
+            raise RuntimeError("chaos schedule already started")
+        self._started = True
+        for idx, sc in enumerate(self._scenarios):
+            self._procs.append(
+                self.env.process(self._run(idx, sc), name=f"chaos:{sc['label']}")
+            )
+        return self
+
+    def _run(self, idx: int, sc: Dict[str, Any]):
+        delay = sc["at"] - self.env.now
+        if delay > 0:
+            yield self.env.timeout(delay)
+        self.log.append((self.env.now, "apply", sc["label"]))
+        self._active[idx] = sc
+        try:
+            yield from sc["body"](self)
+        finally:
+            self._active.pop(idx, None)
+            self.log.append((self.env.now, "revert", sc["label"]))
+
+    # ------------------------------------------------------------ reporting
+    def active(self) -> List[str]:
+        """Labels of scenario windows currently in force."""
+        return sorted(sc["label"] for sc in self._active.values())
+
+    def describe(self) -> List[Dict[str, Any]]:
+        """The declared schedule, in scheduled order."""
+        return [
+            {"at": sc["at"], "label": sc["label"]}
+            for sc in sorted(self._scenarios, key=lambda s: s["at"])
+        ]
+
+    @property
+    def done(self) -> bool:
+        """Whether every armed scenario has finished."""
+        return self._started and all(not p.is_alive for p in self._procs)

@@ -23,12 +23,14 @@ from repro.cluster.node import Node
 class FabricStats:
     """Cumulative transfer counters."""
 
-    __slots__ = ("transfers", "bytes_moved", "intra_node")
+    __slots__ = ("transfers", "bytes_moved", "intra_node", "degraded_transfers")
 
     def __init__(self) -> None:
         self.transfers = 0
         self.bytes_moved = 0
         self.intra_node = 0
+        #: Transfers that touched a chaos-degraded NIC.
+        self.degraded_transfers = 0
 
 
 class NetworkFabric:
@@ -89,6 +91,18 @@ class NetworkFabric:
             self.stats.bytes_moved += nbytes
             return
         serialize = nbytes / self.profile.bandwidth_bps
+        latency = self.profile.latency_s
+        # Chaos degradation: a straggling endpoint slows the whole
+        # transfer (the path is only as fast as its worst NIC) and adds
+        # its extra latency.  Neutral nodes leave timing untouched.
+        slow = src.nic_slow_factor
+        if dst.nic_slow_factor > slow:
+            slow = dst.nic_slow_factor
+        extra = src.nic_extra_latency_s + dst.nic_extra_latency_s
+        if slow != 1.0 or extra:
+            serialize *= slow
+            latency += extra
+            self.stats.degraded_transfers += 1
         # Ordered acquisition: egress first, then ingress (deadlock-free).
         egress_req = src.egress._station.request()
         try:
@@ -104,7 +118,7 @@ class NetworkFabric:
                 dst.ingress._station.abandon(ingress_req)
                 raise
             try:
-                yield self.env.timeout(self.profile.latency_s + serialize)
+                yield self.env.timeout(latency + serialize)
             finally:
                 dst.ingress._station.release(ingress_req)
         finally:

@@ -102,6 +102,9 @@ class ClientStats:
     #: that the knobs really change overlap and nothing else.
     ingest_inflight_hwm: int = 0
     fetch_inflight_hwm: int = 0
+    #: Times a live prefetch pipeline was re-steered at a new chunk→
+    #: master map after an elastic membership change.
+    membership_repins: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         """All counters as ``{name: value}`` (the bench-reporting seam).
@@ -201,7 +204,20 @@ class DieselClient:
 
     def attach_cache(self, cache: TaskCache) -> None:
         """Join a task-grained distributed cache (after its register())."""
+        if cache is self._cache:
+            return
         self._cache = cache
+        # Elastic membership: when scale_up/scale_down move chunk
+        # ownership, steer the live prefetch pipeline at the new map.
+        cache.add_membership_listener(self._on_cache_membership)
+
+    def _on_cache_membership(self, event: str, names) -> None:
+        cache = self._cache
+        if cache is None or self._closed:
+            return
+        if self._prefetcher is not None and self._prefetcher.active:
+            self._prefetcher.repin(cache.chunk_owner_node)
+            self.stats.membership_repins += 1
 
     # -------------------------------------------------------------- DL_put
     def put(self, path: str, data: bytes) -> Generator[Event, Any, None]:

@@ -125,6 +125,22 @@ class DieselConfig:
     #: How long a tripped breaker stays open before a half-open probe
     #: call is allowed through.
     breaker_reset_s: float = 1.0
+    #: Hedge remote cache reads: once a peer call outlives its
+    #: calibrated p95 delay, fire a backup request to a replica (or the
+    #: backend) and take whichever answers first, cancelling the loser
+    #: (straggler mitigation; "The Tail at Scale").
+    hedge_enabled: bool = False
+    #: Fixed hedge delay in seconds.  0 calibrates the delay per peer
+    #: from its EWMA latency tracker (mean + 4·deviation, ≈ p95).
+    hedge_delay_s: float = 0.0
+    #: EWMA smoothing factor for the per-peer latency tracker feeding
+    #: hedge-delay calibration and replica steering.
+    hedge_ewma_alpha: float = 0.2
+    #: Failure-detector probe de-synchronization: each probe round
+    #: sleeps the heartbeat interval scaled by a seeded uniform factor
+    #: in ``[1 - jitter, 1 + jitter]`` so large fleets do not probe in
+    #: lockstep bursts.  0 keeps the exact fixed-interval schedule.
+    heartbeat_jitter: float = 0.1
 
     def __post_init__(self) -> None:
         if self.chunk_size <= 0:
@@ -183,6 +199,12 @@ class DieselConfig:
             raise ValueError("breaker_threshold must be >= 1")
         if self.breaker_reset_s <= 0:
             raise ValueError("breaker_reset_s must be positive")
+        if self.hedge_delay_s < 0:
+            raise ValueError("hedge_delay_s must be >= 0")
+        if not 0.0 < self.hedge_ewma_alpha <= 1.0:
+            raise ValueError("hedge_ewma_alpha must be in (0, 1]")
+        if not 0.0 <= self.heartbeat_jitter < 1.0:
+            raise ValueError("heartbeat_jitter must be in [0, 1)")
 
 
 class ConfigStore:

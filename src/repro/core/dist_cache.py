@@ -125,6 +125,19 @@ class TaskCacheStats:
     degraded_reads: int = 0
     coalesced_pulls: int = 0
     replicated_chunks: int = 0
+    #: Hedged-read counters (0 unless hedging is configured): backups
+    #: launched, races the backup won, and losers that completed anyway
+    #: (duplicate transfers actually paid).
+    hedges_fired: int = 0
+    hedge_wins: int = 0
+    hedge_duplicates: int = 0
+    #: Elastic-membership counters: live scale events survived and
+    #: chunks drained peer-to-peer (scale-down) or warm-admitted from a
+    #: peer instead of the backend (scale-up).
+    scale_ups: int = 0
+    scale_downs: int = 0
+    drained_chunks: int = 0
+    peer_warmed_chunks: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         """All counters as ``{name: value}``, derived from the dataclass
@@ -298,7 +311,91 @@ class CacheMaster:
             return self.has_chunk(args[0])
         if method == "pull_chunk":
             return self._pull_chunk(args[0])
+        if method == "get_chunk":
+            return self._serve_chunk(args[0])
         raise DieselError(f"unknown cache method {method!r}")
+
+    def _serve_chunk(self, encoded_cid: str):
+        """Serve a whole resident chunk to a peer master (drain/warm path).
+
+        RAM-resident chunks return their encoded blob immediately;
+        disk-resident chunks hand back a generator so the caller's RPC
+        charges the device read.  ``None`` when not resident — the
+        caller falls back to the backend.
+        """
+        chunk = self._ram_chunk(encoded_cid)
+        if chunk is not None:
+            return chunk.encode()
+        if self._disk_resident(encoded_cid):
+            return self._serve_chunk_tiered(encoded_cid)
+        return None
+
+    def _serve_chunk_tiered(
+        self, encoded_cid: str
+    ) -> Generator[Event, Any, Optional[bytes]]:
+        chunk = yield from self._read_resident(encoded_cid)
+        return chunk.encode() if chunk is not None else None
+
+    def admit_from_peer(
+        self, donor: Optional["CacheMaster"], encoded_cid: str
+    ) -> Generator[Event, Any, Tuple[bool, bool]]:
+        """Warm-admit one chunk, preferring a peer master over the backend.
+
+        The elastic-membership pull: a new master warming its share, or
+        a successor draining a departing master, fetches the chunk from
+        ``donor`` (which still holds it) instead of re-reading the
+        object store; the backend is only the fallback.  Single-flight
+        via the same in-flight map as backend pulls, so a concurrent
+        warmup or on-demand fill of the chunk coalesces.
+
+        In shared-tier mode, admission must stay refcounted in the node
+        tier, so the pull is delegated to :meth:`_pull_chunk` — the
+        shared tier already warm-admits from any task's resident copy.
+        Returns ``(cached, from_peer)``.
+        """
+        if self.has_chunk(encoded_cid):
+            return True, False
+        if self.shared is not None:
+            cached = yield from self._pull_chunk(encoded_cid)
+            return cached, False
+        pending = self._pull_inflight.get(encoded_cid)
+        if pending is not None:
+            self.stats.coalesced_pulls += 1
+            yield pending
+            return self.has_chunk(encoded_cid), False
+        done = self.env.event()
+        self._pull_inflight[encoded_cid] = done
+        try:
+            blob = None
+            if donor is not None and donor.up:
+                try:
+                    blob = yield from donor.endpoint.call(
+                        self.node, "get_chunk", encoded_cid,
+                        response_bytes=None,
+                    )
+                except (NodeDownError, CachePeerDownError):
+                    blob = None
+            from_peer = blob is not None
+            if blob is None:
+                blob = yield from self.server.call(
+                    self.node,
+                    "get_chunk",
+                    self.dataset,
+                    encoded_cid,
+                    response_bytes=None,
+                )
+            tier = yield from self.store.put(
+                encoded_cid, Chunk.decode(blob), len(blob)
+            )
+            if tier is None:
+                self.stats.skipped_no_memory += 1
+                return False, from_peer
+            self.stats.chunks_loaded += 1
+            self.stats.bytes_cached += len(blob)
+            return True, from_peer
+        finally:
+            del self._pull_inflight[encoded_cid]
+            done.succeed()
 
     def local_payload(self, encoded_cid: str, path: str) -> Optional[bytes]:
         """Serve one file from a RAM-resident chunk without an RPC.
@@ -683,6 +780,23 @@ class TaskCache:
         self._replicating: set = set()
         #: On-demand background pulls dropped because the master died.
         self.dropped_pulls = 0
+        #: Elastic membership: bumped on every live scale_up/scale_down
+        #: so epoch schedulers and prefetchers can re-pin their plans.
+        self.membership_version = 0
+        #: ``(time, event, names)`` for every live membership change.
+        self.scale_events: List[tuple] = []
+        self._membership_listeners: List[Any] = []
+        self.scale_up_count = 0
+        self.scale_down_count = 0
+        self.drained_chunks = 0
+        self.peer_warmed_chunks = 0
+        #: Hedged-read machinery (None/off = legacy single-attempt peer
+        #: path; see ``configure_hedging``).
+        self._hedge_enabled = False
+        self._hedge_delay_s = 0.0
+        self._hedged_call = None
+        self.peer_latency = None
+        self.hedge_stats = None
         #: Which layer served the most recent read_file — published for
         #: the client's span attribution (only updated while a recorder
         #: is attached, so the bare hot path stays untouched).
@@ -691,6 +805,7 @@ class TaskCache:
     @property
     def stats(self) -> TaskCacheStats:
         """Aggregated locality counters (plugs into ``stats_row``)."""
+        hs = self.hedge_stats
         return TaskCacheStats(
             local_hits=self.local_hits,
             remote_hits=self.remote_hits,
@@ -703,6 +818,13 @@ class TaskCache:
             replicated_chunks=sum(
                 m.stats.replicated_chunks for m in self.masters.values()
             ),
+            hedges_fired=hs.hedges_fired if hs is not None else 0,
+            hedge_wins=hs.backup_wins if hs is not None else 0,
+            hedge_duplicates=hs.duplicate_transfers if hs is not None else 0,
+            scale_ups=self.scale_up_count,
+            scale_downs=self.scale_down_count,
+            drained_chunks=self.drained_chunks,
+            peer_warmed_chunks=self.peer_warmed_chunks,
         )
 
     @property
@@ -740,6 +862,57 @@ class TaskCache:
         self._breakers.clear()
         # Seeded: retry jitter must not vary run to run.
         self._rng = random.Random(0xD1E5E1)
+        if config.hedge_enabled:
+            self.configure_hedging(config)
+
+    def configure_hedging(
+        self,
+        config=None,
+        *,
+        enabled: bool = True,
+        delay_s: Optional[float] = None,
+        alpha: Optional[float] = None,
+    ) -> None:
+        """Enable hedged reads on the remote-peer path.
+
+        Once a remote ``get_file`` outlives its hedge delay — fixed
+        (``hedge_delay_s > 0``) or calibrated per peer from the EWMA
+        latency tracker (``mean + 4·dev`` ≈ p95) — a backup request is
+        fired to a replica master holding the chunk (steered to the
+        fastest peer by EWMA) or to the backend, and whichever answers
+        first wins; the loser is cancelled so its NIC channels and RPC
+        worker slots drain through their ``finally`` blocks.  While a
+        read is hedged it bypasses retry/breaker (the backup *is* the
+        recovery path); local fast paths are never hedged.
+        """
+        from repro.ft.hedge import HedgeStats, PeerLatencyTracker, hedged_call
+
+        if config is not None:
+            enabled = config.hedge_enabled
+            delay_s = config.hedge_delay_s if delay_s is None else delay_s
+            alpha = config.hedge_ewma_alpha if alpha is None else alpha
+        self._hedge_enabled = bool(enabled)
+        self._hedge_delay_s = float(delay_s or 0.0)
+        self._hedged_call = hedged_call
+        if self.peer_latency is None:
+            self.peer_latency = PeerLatencyTracker(alpha=alpha or 0.2)
+        if self.hedge_stats is None:
+            self.hedge_stats = HedgeStats()
+
+    # --------------------------------------------------- elastic membership
+    def add_membership_listener(self, callback) -> None:
+        """Register ``callback(event, names)`` fired on every live
+        scale_up/scale_down (``event`` is the string, ``names`` the
+        affected master client names / node names)."""
+        self._membership_listeners.append(callback)
+
+    def _notify_membership(self, event: str, names: Sequence[str]) -> None:
+        self.scale_events.append((self.env.now, event, tuple(names)))
+        rec = self._recorder
+        if rec is not None:
+            rec.count(f"cache_{event}", "task_cache")
+        for cb in list(self._membership_listeners):
+            cb(event, names)
 
     def _breaker_for(self, master: CacheMaster):
         breaker = self._breakers.get(master.client.name)
@@ -1053,9 +1226,15 @@ class TaskCache:
                     return payload
         payload = None
         peer_answered = False
+        hedge_source = ""
         if master.up:
             try:
-                if self._retry_policy is not None:
+                if self._hedge_enabled and master.node is not client.node:
+                    payload, hedge_source = yield from self._hedged_read(
+                        client, master, encoded_cid, record
+                    )
+                    peer_answered = hedge_source == "peer"
+                elif self._retry_policy is not None:
                     payload = yield from master.endpoint.call_with_retry(
                         self._retry_policy,
                         client.node,
@@ -1066,6 +1245,7 @@ class TaskCache:
                         breaker=self._breaker_for(master),
                         response_bytes=record.length,
                     )
+                    peer_answered = True
                 else:
                     payload = yield from master.endpoint.call(
                         client.node,
@@ -1074,7 +1254,7 @@ class TaskCache:
                         record.path,
                         response_bytes=record.length,
                     )
-                peer_answered = True
+                    peer_answered = True
             except CircuitOpenError as exc:
                 # Known-bad peer: short-circuit straight to the server
                 # without paying another attempt.
@@ -1096,6 +1276,21 @@ class TaskCache:
             self._note_peer_failure(master)
             if not self.fallback_to_server:
                 raise CachePeerDownError(master.client.name)
+        if hedge_source == "replica":
+            # A backup replica beat (or replaced) the straggling owner.
+            self.remote_hits += 1
+            if rec is not None:
+                self.last_resolution = "task_cache"
+                rec.record("cache_read", "task_cache", self.env.now - t0,
+                           actor=client.name, path=record.path)
+            return payload
+        if hedge_source == "server":
+            # The backend won the hedge race outright.
+            if rec is not None:
+                self.last_resolution = "server"
+                rec.record("cache_read", "server", self.env.now - t0,
+                           actor=client.name, path=record.path)
+            return payload
         if peer_answered:
             if payload is not None:
                 if master.node is client.node:
@@ -1148,6 +1343,124 @@ class TaskCache:
             rec = self._recorder
             if rec is not None:
                 rec.count("ft_dropped_pull", "task_cache")
+
+    # ---------------------------------------------------------- hedged reads
+    def _peer_get_file(
+        self,
+        client: CacheClient,
+        master: CacheMaster,
+        encoded_cid: str,
+        record: FileRecord,
+    ) -> Generator[Event, Any, Optional[bytes]]:
+        """One peer ``get_file`` attempt, feeding the latency tracker."""
+        t0 = self.env.now
+        payload = yield from master.endpoint.call(
+            client.node,
+            "get_file",
+            encoded_cid,
+            record.path,
+            response_bytes=record.length,
+        )
+        if self.peer_latency is not None:
+            self.peer_latency.observe(master.client.name, self.env.now - t0)
+        return payload
+
+    def _hedge_backup_target(
+        self, client: CacheClient, master: CacheMaster, encoded_cid: str
+    ) -> Optional[CacheMaster]:
+        """The replica master a hedge backup should hit: any other up
+        master holding the chunk, steered to the lowest-EWMA peer."""
+        candidates = [
+            m
+            for m in self.masters.values()
+            if m is not master and m.up and m.has_chunk(encoded_cid)
+        ]
+        if not candidates:
+            return None
+        if len(candidates) == 1 or self.peer_latency is None:
+            return candidates[0]
+        fastest = self.peer_latency.fastest(
+            [m.client.name for m in candidates]
+        )
+        for m in candidates:
+            if m.client.name == fastest:
+                return m
+        return candidates[0]
+
+    def _hedge_backup_read(
+        self,
+        client: CacheClient,
+        master: CacheMaster,
+        encoded_cid: str,
+        record: FileRecord,
+    ) -> Generator[Event, Any, Tuple[str, bytes]]:
+        """The backup leg of a hedge: replica master if one holds the
+        chunk (EWMA-steered), else the backend."""
+        replica = self._hedge_backup_target(client, master, encoded_cid)
+        if replica is not None:
+            try:
+                payload = yield from self._peer_get_file(
+                    client, replica, encoded_cid, record
+                )
+            except (NodeDownError, CachePeerDownError):
+                payload = None
+            if payload is not None:
+                return "replica", payload
+        payload = yield from self.server.call(
+            client.node,
+            "get_file",
+            self.dataset,
+            record.path,
+            response_bytes=record.length,
+        )
+        return "server", payload
+
+    def _hedged_read(
+        self,
+        client: CacheClient,
+        master: CacheMaster,
+        encoded_cid: str,
+        record: FileRecord,
+    ) -> Generator[Event, Any, Tuple[Optional[bytes], str]]:
+        """Remote read with a hedge: race the owner against a delayed
+        backup.  Returns ``(payload, source)`` with source ``"peer"``
+        (owner answered — payload None means a clean miss), ``"replica"``
+        or ``"server"`` (the backup won or the owner failed mid-race).
+
+        Until the peer's latency tracker is calibrated (or with an
+        uncalibratable fixed delay of 0), reads stay unhedged — they
+        just feed the tracker.
+        """
+        delay = self._hedge_delay_s
+        if delay <= 0.0:
+            calibrated = self.peer_latency.hedge_delay(master.client.name)
+            if calibrated is None:
+                payload = yield from self._peer_get_file(
+                    client, master, encoded_cid, record
+                )
+                return payload, "peer"
+            delay = calibrated
+        outcome = yield from self._hedged_call(
+            self.env,
+            self._peer_get_file(client, master, encoded_cid, record),
+            lambda: self._hedge_backup_read(
+                client, master, encoded_cid, record
+            ),
+            delay,
+            stats=self.hedge_stats,
+            name=f"hedge:{encoded_cid[:8]}",
+        )
+        err = outcome.primary_error
+        if err is not None and isinstance(
+            err, (NodeDownError, CachePeerDownError, DeadlineExceededError)
+        ):
+            # The owner failed while the backup saved the read: feed the
+            # detector exactly like the unhedged failure path.
+            self._note_peer_failure(master)
+        if outcome.winner == "primary":
+            return outcome.value, "peer"
+        source, payload = outcome.value
+        return payload, source
 
     # ------------------------------------------------- hot-chunk replication
     def _note_remote_read(
@@ -1284,3 +1597,251 @@ class TaskCache:
             rec.record("recover", "total", self.env.now - t0,
                        chunks=reloaded, survivors=len(survivors))
         return reloaded
+
+    # ---------------------------------------------------- elastic membership
+    def scale_up(
+        self, new_clients: Sequence[CacheClient], warm: bool = True
+    ) -> Generator[Event, Any, dict]:
+        """Grow the task's membership live (no cold restart).
+
+        New clients join the mesh; nodes without a master elect one
+        (lowest rank per node, as at registration); each new master
+        takes an equal share of chunks stolen from the most-loaded
+        donors' partition tails — minimal movement: everything else
+        stays owned, resident, and serving throughout.  With ``warm``,
+        the new masters then admit their share *peer-to-peer* from the
+        donors still holding those chunks (falling back to the backend),
+        so warm-up never re-reads the object store for resident data;
+        the donor keeps its copy as a replica, exactly like hot-chunk
+        replication.  Reads of a moved chunk before it lands simply fall
+        through to the server (Fig 4) — never an error.
+
+        Bumps :attr:`membership_version` and fires membership listeners
+        so epoch plans re-pin on the fly.  Returns a summary dict.
+        """
+        if not self._registered:
+            raise DieselError("task cache not registered")
+        new_clients = list(new_clients)
+        if not new_clients:
+            raise DieselError("scale_up needs at least one client")
+        taken = {c.name for c in self.clients}
+        for c in new_clients:
+            if c.name in taken:
+                raise DieselError(f"client name {c.name!r} already in task")
+            taken.add(c.name)
+        # Master election on nodes that do not have one yet.
+        by_node: Dict[str, CacheClient] = {}
+        for c in new_clients:
+            if c.node.name in self.masters:
+                continue
+            cur = by_node.get(c.node.name)
+            if cur is None or (c.rank, c.name) < (cur.rank, cur.name):
+                by_node[c.node.name] = c
+        new_masters: List[CacheMaster] = []
+        for node_name in sorted(by_node):
+            elected = by_node[node_name]
+            master = CacheMaster(
+                self.env, self.fabric, elected, self.server, self.dataset,
+                self.cal, store_spec=self.store_spec,
+            )
+            if self.shared is not None:
+                master.attach_shared(
+                    self.shared.for_node(elected.node),
+                    self.task_key, self.tenant, self.qos_class,
+                )
+            if self._recorder is not None:
+                master.recorder = self._recorder
+                master.endpoint.recorder = self._recorder
+            self.masters[node_name] = master
+            new_masters.append(master)
+        # Mesh growth: new clients ↔ all masters, old clients ↔ new masters.
+        all_masters = [self.masters[k] for k in sorted(self.masters)]
+        for c in new_clients:
+            for m in all_masters:
+                self.connections.connect(c.name, m.client.name)
+        for c in self.clients:
+            for m in new_masters:
+                self.connections.connect(c.name, m.client.name)
+        self.clients.extend(new_clients)
+        # Rebalance: equal-share steal from the largest partitions.
+        moves: Dict[CacheMaster, List[Tuple[str, CacheMaster]]] = {}
+        moved = 0
+        if new_masters:
+            target = len(self._owner_of) // len(self.masters)
+            donors = [m for m in all_masters if m not in new_masters]
+            for nm in new_masters:
+                items: List[Tuple[str, CacheMaster]] = []
+                for _ in range(target):
+                    donor = max(donors, key=lambda m: len(m.assigned))
+                    if len(donor.assigned) <= target:
+                        break
+                    encoded_cid = donor.assigned.pop()
+                    self._owner_of[encoded_cid] = nm
+                    nm.assigned.append(encoded_cid)
+                    items.append((encoded_cid, donor))
+                if items:
+                    moves[nm] = items
+                    moved += len(items)
+        self.scale_up_count += 1
+        self.membership_version += 1
+        self._notify_membership(
+            "scale_up", [m.client.name for m in new_masters]
+        )
+        warmed = peer_warmed = 0
+        if warm and moves:
+            results = yield from fan_out(
+                self.env,
+                [self._warm_moves(nm, items) for nm, items in moves.items()],
+                len(moves),
+                name="scale_up",
+            )
+            for r in results:
+                if r:
+                    warmed += r[0]
+                    peer_warmed += r[1]
+        self.peer_warmed_chunks += peer_warmed
+        return {
+            "new_masters": [m.client.name for m in new_masters],
+            "moved_chunks": moved,
+            "warmed_chunks": warmed,
+            "peer_warmed": peer_warmed,
+            "membership_version": self.membership_version,
+        }
+
+    def _warm_moves(
+        self, master: CacheMaster, items: Sequence[Tuple[str, CacheMaster]]
+    ) -> Generator[Event, Any, Tuple[int, int]]:
+        """One new master warming its stolen share from its donors."""
+        warmed = peer_warmed = 0
+        for encoded_cid, donor in items:
+            if not master.node.alive:
+                break
+            try:
+                cached, from_peer = yield from master.admit_from_peer(
+                    donor, encoded_cid
+                )
+            except (NodeDownError, CachePeerDownError, DieselError):
+                continue
+            if cached:
+                warmed += 1
+                peer_warmed += bool(from_peer)
+        return warmed, peer_warmed
+
+    def scale_down(
+        self, nodes: Sequence[Any], drain: bool = True
+    ) -> Generator[Event, Any, dict]:
+        """Shrink the task's membership live, draining owned chunks.
+
+        ``nodes`` are :class:`~repro.cluster.node.Node`\\ s or node
+        names.  Each departing master's chunks are re-homed to a
+        successor — a survivor already holding a replica when one exists
+        (the locality policy's replica machinery), else dealt
+        round-robin — and with ``drain`` the successor pulls each chunk
+        *from the departing master* before ownership flips, so at every
+        instant the chunk is resident and owned somewhere: reads keep
+        resolving against the old owner until the copy lands, then
+        against the new one.  Zero lost chunks, zero failed reads, no
+        cold restart.  Departing clients leave the mesh afterwards.
+
+        Returns a summary dict including ``lost_chunks`` (chunks whose
+        successor could not admit them, e.g. out of memory — those fall
+        back to server reads, they are not errors).
+        """
+        if not self._registered:
+            raise DieselError("task cache not registered")
+        names = {n.name if isinstance(n, Node) else str(n) for n in nodes}
+        if not names:
+            raise DieselError("scale_down needs at least one node")
+        departing = [self.masters[n] for n in sorted(names) if n in self.masters]
+        survivors = [
+            self.masters[k] for k in sorted(self.masters) if k not in names
+        ]
+        if departing and not survivors:
+            raise DieselError("scale_down would remove every cache master")
+        # Successor plan: replica-holding survivor first, else round-robin.
+        plan: Dict[CacheMaster, List[Tuple[str, CacheMaster]]] = {}
+        rr = 0
+        for m in departing:
+            for encoded_cid in m.assigned:
+                succ = next(
+                    (s for s in survivors if s.has_chunk(encoded_cid)), None
+                )
+                if succ is None:
+                    succ = survivors[rr % len(survivors)]
+                    rr += 1
+                plan.setdefault(succ, []).append((encoded_cid, m))
+        drained = peer_drained = lost = 0
+        if plan:
+            if drain:
+                results = yield from fan_out(
+                    self.env,
+                    [
+                        self._drain_into(succ, items)
+                        for succ, items in plan.items()
+                    ],
+                    len(plan),
+                    name="scale_down",
+                )
+                for r in results:
+                    if r:
+                        drained += r[0]
+                        peer_drained += r[1]
+                        lost += r[2]
+            else:
+                # No drain: flip ownership only; chunks go server-resident.
+                for succ, items in plan.items():
+                    for encoded_cid, _donor in items:
+                        self._owner_of[encoded_cid] = succ
+                        succ.assigned.append(encoded_cid)
+        # Remove the departing masters and clients from the mesh.
+        for m in departing:
+            m.assigned = []
+            m.drop_all()
+            del self.masters[m.node.name]
+            self.connections.drop_endpoint(m.client.name)
+            self._breakers.pop(m.client.name, None)
+        master_names = {m.client.name for m in departing}
+        for c in self.clients:
+            if c.node.name in names and c.name not in master_names:
+                self.connections.drop_endpoint(c.name)
+        self.clients = [c for c in self.clients if c.node.name not in names]
+        if not self.clients:
+            raise DieselError("scale_down removed every client")
+        self.scale_down_count += 1
+        self.drained_chunks += drained
+        self.membership_version += 1
+        self._notify_membership("scale_down", sorted(names))
+        return {
+            "removed_masters": sorted(master_names),
+            "drained_chunks": drained,
+            "peer_drained": peer_drained,
+            "lost_chunks": lost,
+            "membership_version": self.membership_version,
+        }
+
+    def _drain_into(
+        self, succ: CacheMaster, items: Sequence[Tuple[str, CacheMaster]]
+    ) -> Generator[Event, Any, Tuple[int, int, int]]:
+        """One successor draining chunks off a departing master.
+
+        Ownership flips per chunk *after* the copy lands, so reads in
+        flight keep resolving against whichever master currently holds
+        the chunk.
+        """
+        drained = peer_drained = lost = 0
+        for encoded_cid, donor in items:
+            cached, from_peer = False, False
+            try:
+                cached, from_peer = yield from succ.admit_from_peer(
+                    donor, encoded_cid
+                )
+            except (NodeDownError, CachePeerDownError, DieselError):
+                cached = False
+            self._owner_of[encoded_cid] = succ
+            succ.assigned.append(encoded_cid)
+            if cached:
+                drained += 1
+                peer_drained += bool(from_peer)
+            else:
+                lost += 1
+        return drained, peer_drained, lost

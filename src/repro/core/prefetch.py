@@ -83,6 +83,9 @@ class ChunkPrefetcher:
         #: briefly exceed depth-K concurrency.
         self._sem = Semaphore(client.env, depth)
         self._active = True
+        #: Elastic-membership steering (see :meth:`repin`).
+        self.repins = 0
+        self.repin_skipped = 0
         self._top_up()
 
     # ------------------------------------------------------------- status
@@ -143,6 +146,37 @@ class ChunkPrefetcher:
         finally:
             self._sem.release(slot)
             self._procs.pop(encoded, None)
+
+    def repin(self, owner_of) -> int:
+        """Drop not-yet-issued schedule entries that became node-local.
+
+        After an elastic scale event moves chunk ownership, chunks the
+        schedule planned to pull over the network may now live on this
+        client's own node — their demand read is already an intra-node
+        memory copy, so spending a pipeline slot (and a transfer window)
+        prefetching them is pure waste.  Issued and in-flight fetches
+        are left alone; skipped chunks are unscheduled, so a later
+        demand read neither scores a miss nor holds a window slot.
+        ``owner_of`` maps an encoded chunk id to its owner node name.
+        Returns how many entries were skipped.
+        """
+        if not self._active or self._next >= len(self._schedule):
+            return 0
+        local = self.client.node.name
+        keep: List[str] = []
+        skipped = 0
+        for encoded in self._schedule[self._next:]:
+            if encoded not in self._consumed and owner_of(encoded) == local:
+                self._scheduled.discard(encoded)
+                skipped += 1
+            else:
+                keep.append(encoded)
+        if skipped:
+            del self._schedule[self._next:]
+            self._schedule.extend(keep)
+            self.repin_skipped += skipped
+        self.repins += 1
+        return skipped
 
     def protects(self, encoded: str) -> bool:
         """True while ``encoded`` is prefetched-ahead but not yet consumed.

@@ -96,6 +96,39 @@ class EpochPlan:
             return 0
         return max(g.working_set_bytes(chunk_sizes) for g in self.groups)
 
+    def repin(
+        self, owner_of: Callable[[ChunkId], Optional[str]]
+    ) -> "EpochPlan":
+        """Same epoch content with refreshed group→owner tags.
+
+        After an elastic membership change, chunk ownership moves but
+        the epoch's read order must not: reshuffling mid-epoch would
+        re-read some files and skip others.  ``repin`` keeps every
+        group's chunks and file order bit-identical and only re-derives
+        :attr:`ShuffleGroup.owner` from the current ownership map (the
+        majority owner of the group's chunks; first-chunk owner breaks
+        ties deterministically), so affinity scheduling and prefetch
+        steering follow the chunks to their new masters.
+        """
+        groups = []
+        for g in self.groups:
+            owners = [owner_of(c) for c in g.chunk_ids]
+            known = [o for o in owners if o is not None]
+            if not known:
+                owner = None
+            else:
+                counts: dict[str, int] = {}
+                for o in known:
+                    counts[o] = counts.get(o, 0) + 1
+                best = max(counts.values())
+                # First chunk whose owner hit the majority count wins.
+                owner = next(o for o in known if counts[o] == best)
+            groups.append(
+                g if owner == g.owner
+                else ShuffleGroup(g.chunk_ids, g.files, owner)
+            )
+        return EpochPlan(tuple(groups))
+
     def partition(
         self,
         n_workers: int,

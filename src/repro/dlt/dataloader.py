@@ -101,6 +101,10 @@ class EpochScheduler:
         self._cache = cache
         self._seed = seed
         self._shards: Dict[int, List[EpochPlan]] = {}
+        #: Cache membership version each cached epoch was built against.
+        self._shard_versions: Dict[int, int] = {}
+        #: Epochs whose cached shards were re-pinned after a scale event.
+        self.repins = 0
 
     @property
     def n_workers(self) -> int:
@@ -110,15 +114,33 @@ class EpochScheduler:
         """Owner-node → worker-index map for ``EpochPlan.partition``."""
         return {name: i for i, name in enumerate(self._worker_nodes)}
 
+    def _membership_version(self) -> int:
+        return getattr(self._cache, "membership_version", 0) if (
+            self._cache is not None) else 0
+
     def shard(self, epoch: int, worker: int) -> EpochPlan:
         """This worker's slice of the epoch's shared plan."""
         if not 0 <= worker < self.n_workers:
             raise DieselError(f"worker index {worker} out of range")
         if epoch not in self._shards:
             self._shards[epoch] = self._build(epoch)
+            self._shard_versions[epoch] = self._membership_version()
             # Bound memory: workers only ever straddle two epochs.
             for old in [e for e in self._shards if e < epoch - 1]:
                 del self._shards[old]
+                self._shard_versions.pop(old, None)
+        elif self._shard_versions.get(epoch) != self._membership_version():
+            # Elastic membership changed under a cached plan: re-pin the
+            # shards' owner tags to the new chunk→master map without
+            # reshuffling (the epoch's read order is already committed;
+            # a reshuffle would re-read some files and drop others).
+            owner_of = getattr(self._cache, "chunk_owner_node", None)
+            if owner_of is not None:
+                self._shards[epoch] = [
+                    plan.repin(owner_of) for plan in self._shards[epoch]
+                ]
+                self.repins += 1
+            self._shard_versions[epoch] = self._membership_version()
         return self._shards[epoch][worker]
 
     def _build(self, epoch: int) -> List[EpochPlan]:

@@ -13,6 +13,9 @@ deployment:
   per-call deadlines around any RPC generator;
 * :class:`~repro.ft.breaker.CircuitBreaker` — per-peer fast-fail once a
   peer is known bad;
+* :func:`~repro.ft.hedge.hedged_call` /
+  :class:`~repro.ft.hedge.PeerLatencyTracker` — hedged requests after a
+  calibrated p95 delay, hiding stragglers the detector never flags;
 * :class:`~repro.ft.supervisor.CacheSupervisor` /
   :class:`~repro.ft.supervisor.KVSupervisor` — detector-driven
   ``TaskCache.recover()`` and ``rebuild_dataset(from_timestamp)`` with
@@ -23,6 +26,12 @@ See ``docs/FAULTS.md`` for the model and a worked example.
 
 from repro.ft.breaker import CircuitBreaker
 from repro.ft.detector import ALIVE, DEAD, SUSPECT, FailureDetector
+from repro.ft.hedge import (
+    HedgeOutcome,
+    HedgeStats,
+    PeerLatencyTracker,
+    hedged_call,
+)
 from repro.ft.retry import (
     TRANSIENT_ERRORS,
     RetryPolicy,
@@ -39,8 +48,12 @@ __all__ = [
     "CacheSupervisor",
     "CircuitBreaker",
     "FailureDetector",
+    "HedgeOutcome",
+    "HedgeStats",
     "KVSupervisor",
+    "PeerLatencyTracker",
     "RetryPolicy",
+    "hedged_call",
     "retry_call",
     "run_with_deadline",
 ]

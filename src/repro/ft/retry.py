@@ -139,11 +139,14 @@ def retry_call(
     retries, deadline hits, and exhaustion under ``ft_*`` ops.
     """
     deadline_err = (DeadlineExceededError,)
+    token = None
     for k in range(policy.retries + 1):
-        if breaker is not None and not breaker.allow():
-            if recorder is not None:
-                recorder.count("ft_breaker_reject", op)
-            raise CircuitOpenError(actor or op)
+        if breaker is not None:
+            token = breaker.allow()
+            if not token:
+                if recorder is not None:
+                    recorder.count("ft_breaker_reject", op)
+                raise CircuitOpenError(actor or op)
         try:
             if policy.deadline_s > 0:
                 result = yield from run_with_deadline(
@@ -153,7 +156,7 @@ def retry_call(
                 result = yield from attempt()
         except policy.retry_on + deadline_err as exc:
             if breaker is not None:
-                breaker.record_failure()
+                breaker.record_failure(token)
             if recorder is not None:
                 if isinstance(exc, DeadlineExceededError):
                     recorder.count("ft_deadline", op)
@@ -172,6 +175,6 @@ def retry_call(
             # The *caller* was torn down mid-attempt; never retry that.
             raise
         if breaker is not None:
-            breaker.record_success()
+            breaker.record_success(token)
         return result
     raise AssertionError("unreachable: loop either returns or raises")

@@ -60,6 +60,10 @@ class CacheSupervisor:
         # Data-path feedback: reads that hit a dead master mid-flight
         # report here instead of waiting for the next heartbeat.
         cache.failure_listener = self
+        # Elastic membership: start probing masters added by scale_up,
+        # stop probing ones retired by scale_down (a drained master must
+        # not linger as a phantom DEAD entry that trips healing).
+        cache.add_membership_listener(self._on_membership)
 
     @staticmethod
     def _watch_name(master: CacheMaster) -> str:
@@ -68,6 +72,30 @@ class CacheSupervisor:
     def report_failure(self, master: CacheMaster) -> None:
         """Called by ``TaskCache`` when an in-flight peer call failed."""
         self.detector.report_failure(self._watch_name(master))
+
+    def _on_membership(self, event: str, names) -> None:
+        # scale_up publishes master *client* names, scale_down *node*
+        # names (the masters map is keyed by node) — resolve both.
+        if event == "scale_up":
+            watched = set(self.detector.watched())
+            by_client = {
+                m.client.name: m for m in self.cache.masters.values()
+            }
+            for name in names:
+                master = by_client.get(name)
+                if master is not None:
+                    wname = self._watch_name(master)
+                    if wname not in watched:
+                        self.detector.watch(wname, master)
+        elif event == "scale_down":
+            # The departed masters are already out of cache.masters;
+            # drop any watch whose master is no longer in the mesh.
+            live = {
+                self._watch_name(m) for m in self.cache.masters.values()
+            }
+            for wname in self.detector.watched():
+                if wname.startswith("cache:") and wname not in live:
+                    self.detector.unwatch(wname)
 
     def _on_transition(self, name: str, state: str, at: float) -> None:
         if state != DEAD or not name.startswith("cache:"):

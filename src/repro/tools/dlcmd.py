@@ -196,6 +196,24 @@ def _build_parser() -> argparse.ArgumentParser:
         help="compress chunks written to the disk tier (deterministic "
              "per-chunk ratios, see docs/CACHE_TIERS.md)",
     )
+
+    p = sub.add_parser(
+        "chaos",
+        help="hostile-world probe: read the dataset through an elastic "
+             "task cache while one NIC degrades — prints live "
+             "membership, per-peer EWMA latency, hedge counters and "
+             "the active chaos schedule",
+    )
+    p.add_argument(
+        "-N", "--nodes", type=int, default=3,
+        help="simulated task nodes (one cache master each) before the "
+             "mid-probe scale-up (default: %(default)s)",
+    )
+    p.add_argument(
+        "--straggler-ms", type=float, default=1.0,
+        help="extra per-transfer latency injected on one node's NIC "
+             "(default: %(default)s ms)",
+    )
     return parser
 
 
@@ -623,6 +641,130 @@ def cmd_tiers(ws: DieselWorkspace, dataset: str, args) -> str:
     return "\n".join(lines)
 
 
+def cmd_chaos(ws: DieselWorkspace, dataset: str, args) -> str:
+    """Hostile-world probe over an ephemeral elastic task cache.
+
+    Spins up ``--nodes`` task nodes, warms the cache, enables hedged
+    reads (delay calibrated at 2x the healthy p99), arms a
+    :class:`~repro.cluster.failure.ChaosSchedule` that degrades one
+    node's NIC, reads the dataset through the storm, scales one extra
+    node in live, and reads again.  Prints the operator view: live
+    membership, per-peer EWMA latency rows, hedge counters, and the
+    chaos schedule with its applied/active windows.  Nothing about the
+    workspace is mutated.
+    """
+    from repro.cluster.failure import ChaosSchedule
+    from repro.cluster.node import Node
+    from repro.core.dist_cache import CacheClient, TaskCache
+
+    if args.nodes < 1:
+        raise ReproError("--nodes must be >= 1")
+    if args.straggler_ms < 0:
+        raise ReproError("--straggler-ms must be >= 0")
+    sync = ws.client(dataset)
+    index = sync.load_meta(sync.save_meta())
+    paths = index.all_paths()
+    if not paths:
+        raise ReproError(f"dataset {dataset!r} has no files to probe")
+    env, fabric = ws.tb.env, ws.tb.fabric
+    nodes = [
+        fabric.add_node(Node(env, f"chaos-n{i}")) for i in range(args.nodes)
+    ]
+    cache = TaskCache(
+        env, fabric, ws.server, dataset,
+        [CacheClient(f"chaos-c{i}", nodes[i], i) for i in range(args.nodes)],
+        policy="oneshot",
+    )
+
+    def run(gen):
+        proc = env.process(gen)
+        return env.run(until=proc)
+
+    run(cache.register())
+    run(cache.wait_warm())
+    # Degrade the most-loaded master's node and read from another node,
+    # so the probe's reads actually cross the hostile NIC.
+    straggler_name = max(
+        cache.masters, key=lambda n: (len(cache.masters[n].assigned), n)
+    )
+    straggler = fabric.node(straggler_name)
+    cc = next(
+        (c for c in cache.clients if c.node.name != straggler_name),
+        cache.clients[0],
+    )
+    lat = []
+
+    def read_pass():
+        for path in paths:
+            t0 = env.now
+            yield from cache.read_file(cc, index.lookup(path))
+            lat.append(env.now - t0)
+
+    # Hedging on but unreachable during the healthy pass: primaries all
+    # win, which populates the per-peer EWMA tracker without firing.
+    cache.configure_hedging(delay_s=60.0)
+    run(read_pass())  # healthy pass: calibrates the hedge delay
+    lat.sort()
+    healthy_p99 = lat[max(0, int(len(lat) * 0.99) - 1)]
+    cache.configure_hedging(delay_s=2 * healthy_p99)
+    chaos = ChaosSchedule(env)
+    chaos.degrade_nic(
+        straggler, factor=4.0, extra_latency_s=args.straggler_ms * 1e-3,
+        at=env.now, duration_s=60.0,
+    )
+    chaos.start()
+    run(read_pass())  # storm pass: hedges fire against the straggler
+    joiner = fabric.add_node(Node(env, f"chaos-n{args.nodes}"))
+    run(cache.scale_up(
+        [CacheClient(f"chaos-j{args.nodes}", joiner, args.nodes)]
+    ))
+    run(read_pass())  # post-scale pass over the grown membership
+
+    lines = [
+        f"chaos probe: {args.nodes} task node(s) + 1 live joiner, "
+        f"dataset {dataset!r}",
+        f"membership (version {cache.membership_version}): "
+        f"{len(cache.masters)} master(s)",
+    ]
+    for name, master in sorted(cache.masters.items()):
+        degraded = " [NIC degraded]" if master.node.degraded else ""
+        lines.append(
+            f"  {name}: {len(master.assigned)} chunk(s) "
+            f"via {master.client.name}{degraded}"
+        )
+    for t, event, names in cache.scale_events:
+        lines.append(
+            f"  scale event t={t:.4f}s: {event} {', '.join(names)}"
+        )
+    lines.append("peer latency (EWMA, slowest first):")
+    for row in cache.peer_latency.rows():
+        delay = row["hedge_delay_s"]
+        lines.append(
+            f"  {row['peer']}: {row['samples']} sample(s), "
+            f"ewma {row['ewma_s'] * 1e3:.3f}ms, "
+            f"dev {row['dev_s'] * 1e3:.3f}ms, hedge delay "
+            + (f"{delay * 1e3:.3f}ms" if delay is not None else "n/a")
+        )
+    hs = cache.hedge_stats
+    lines.append(
+        f"hedge counters: {hs.reads} hedged-path reads, "
+        f"{hs.hedges_fired} hedges fired, {hs.backup_wins} backup wins, "
+        f"{hs.cancelled_losers} losers cancelled, "
+        f"{hs.duplicate_transfers} duplicate transfers, "
+        f"{hs.failovers} failovers"
+    )
+    lines.append("chaos schedule:")
+    for sc in chaos.describe():
+        lines.append(f"  declared t={sc['at']:.4f}s: {sc['label']}")
+    active = chaos.active()
+    lines.append(
+        "  active now: " + (", ".join(active) if active else "(none)")
+    )
+    for t, action, target in chaos.log:
+        lines.append(f"  log t={t:.4f}s: {action} {target}")
+    return "\n".join(lines)
+
+
 def cmd_verify(ws: DieselWorkspace, dataset: str, args) -> str:
     """Check every indexed file resolves through the KV metadata.
 
@@ -666,6 +808,7 @@ _COMMANDS = {
     "scale": (cmd_scale, False),
     "tenants": (cmd_tenants, False),
     "tiers": (cmd_tiers, False),
+    "chaos": (cmd_chaos, False),
 }
 
 

@@ -1,0 +1,150 @@
+"""Tests for the declarative chaos schedule (timed adversity windows)."""
+
+import pytest
+
+from repro.cluster.failure import ChaosSchedule
+from repro.cluster.node import Node
+from repro.sim import Environment
+
+
+def rig(n=2):
+    env = Environment()
+    nodes = [Node(env, f"n{i}") for i in range(n)]
+    return env, nodes, ChaosSchedule(env)
+
+
+class TestWindows:
+    def test_slow_node_applies_and_reverts_on_schedule(self):
+        env, (node, _), chaos = rig()
+        chaos.slow_node(node, factor=8.0, at=1.0, duration_s=2.0).start()
+        env.run(until=0.5)
+        assert not node.degraded
+        env.run(until=1.5)
+        assert node.nic_slow_factor == 8.0
+        assert chaos.active() == ["slow_node:n0x8"]
+        env.run(until=3.5)
+        assert not node.degraded
+        assert chaos.active() == []
+        assert chaos.done
+
+    def test_degrade_nic_sets_both_knobs(self):
+        env, (node, _), chaos = rig()
+        chaos.degrade_nic(
+            node, factor=4.0, extra_latency_s=0.002, at=0.0, duration_s=1.0
+        ).start()
+        env.run(until=0.5)
+        assert node.nic_slow_factor == 4.0
+        assert node.nic_extra_latency_s == 0.002
+        env.run()
+        assert not node.degraded
+
+    def test_latency_spikes_fire_inside_the_window(self):
+        env, nodes, chaos = rig()
+        chaos.latency_spikes(
+            nodes, extra_latency_s=0.01, at=0.0, duration_s=1.0,
+            spikes=3, spike_s=0.01,
+        ).start()
+        env.run()
+        ons = [t for t, a, _ in chaos.log if a == "spike_on"]
+        offs = [t for t, a, _ in chaos.log if a == "spike_off"]
+        assert len(ons) == 3 and len(offs) == 3
+        assert all(0.0 <= t <= 1.0 + 0.01 for t in ons + offs)
+        assert all(n.nic_extra_latency_s == 0.0 for n in nodes)
+
+    def test_spike_schedule_is_seeded(self):
+        def spike_times(seed):
+            env = Environment()
+            node = Node(env, "n0")
+            chaos = ChaosSchedule(env, seed=seed)
+            chaos.latency_spikes([node], 0.01, at=0.0, duration_s=1.0).start()
+            env.run()
+            return [t for t, a, _ in chaos.log if a == "spike_on"]
+
+        assert spike_times(1) == spike_times(1)
+        assert spike_times(1) != spike_times(2)
+
+
+class TestActions:
+    def test_flash_crowd_launches_all_readers_at_once(self):
+        env, nodes, chaos = rig()
+        starts = []
+
+        def reader(i):
+            starts.append((i, env.now))
+            yield env.timeout(0.1)
+
+        chaos.flash_crowd(
+            at=2.0, readers=lambda: [reader(i) for i in range(8)]
+        ).start()
+        env.run()
+        assert sorted(i for i, _ in starts) == list(range(8))
+        assert all(t == 2.0 for _, t in starts)
+        assert chaos.done
+
+    def test_churn_drives_generator_actions_inline(self):
+        env, (node, _), chaos = rig()
+        log = []
+
+        def down():
+            yield env.timeout(0.05)  # a drain takes time
+            log.append(("down", env.now))
+
+        def up():
+            log.append(("up", env.now))
+            return None
+
+        chaos.churn(at=0.0, cycles=2, dwell_s=0.1, down=down, up=up).start()
+        env.run()
+        assert [a for a, _ in log] == ["down", "up", "down", "up"]
+        churn_marks = [a for _, a, _ in chaos.log if a.startswith("churn")]
+        assert churn_marks == ["churn_down", "churn_up"] * 2
+
+    def test_at_escape_hatch_runs_once(self):
+        env, nodes, chaos = rig()
+        fired = []
+        chaos.at(1.5, lambda: fired.append(env.now), label="poke").start()
+        env.run()
+        assert fired == [1.5]
+
+    def test_log_records_apply_and_revert(self):
+        env, (node, _), chaos = rig()
+        chaos.slow_node(node, 2.0, at=1.0, duration_s=1.0).start()
+        env.run()
+        actions = [(a, lbl) for _, a, lbl in chaos.log]
+        assert ("apply", "slow_node:n0x2") in actions
+        assert ("revert", "slow_node:n0x2") in actions
+
+
+class TestLifecycle:
+    def test_describe_lists_scenarios_in_time_order(self):
+        env, (n0, n1), chaos = rig()
+        chaos.slow_node(n1, 2.0, at=5.0, duration_s=1.0)
+        chaos.slow_node(n0, 2.0, at=1.0, duration_s=1.0)
+        assert [d["at"] for d in chaos.describe()] == [1.0, 5.0]
+
+    def test_double_start_and_late_builders_rejected(self):
+        env, (node, _), chaos = rig()
+        chaos.slow_node(node, 2.0, at=0.0, duration_s=0.1).start()
+        with pytest.raises(RuntimeError):
+            chaos.start()
+        with pytest.raises(RuntimeError):
+            chaos.slow_node(node, 2.0, at=1.0, duration_s=0.1)
+
+    def test_validation(self):
+        env, (node, _), chaos = rig()
+        with pytest.raises(ValueError):
+            chaos.slow_node(node, 2.0, at=-1.0, duration_s=0.1)
+        with pytest.raises(ValueError):
+            chaos.latency_spikes([node], 0.01, at=0.0, duration_s=1.0, spikes=0)
+        with pytest.raises(ValueError):
+            chaos.churn(at=0.0, cycles=0, dwell_s=0.1,
+                        down=lambda: None, up=lambda: None)
+
+    def test_not_done_until_every_window_closes(self):
+        env, (node, _), chaos = rig()
+        assert not chaos.done  # never started
+        chaos.slow_node(node, 2.0, at=0.0, duration_s=1.0).start()
+        env.run(until=0.5)
+        assert not chaos.done
+        env.run()
+        assert chaos.done

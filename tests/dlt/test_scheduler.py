@@ -85,6 +85,46 @@ class TestEpochScheduler:
         assert 0 not in sched._shards and 1 not in sched._shards
         assert 5 in sched._shards
 
+    def test_cached_plan_repins_after_membership_change(self):
+        class FakeCache:
+            placement = "locality"
+
+            def __init__(self, owners):
+                self.owners = dict(owners)
+                self.membership_version = 0
+
+            def chunk_owner_node(self, cid):
+                return self.owners.get(cid)
+
+        data = make_dataset(n_chunks=8)
+        cids = sorted(data)
+        cache = FakeCache({cid: "n0" for cid in cids})
+        sched = EpochScheduler(data, 2, ["n0", "n1"], cache=cache)
+        before = [sched.shard(0, w) for w in range(2)]
+        assert sched.repins == 0
+        # A scale event moves half the chunks to the new node n1.
+        for cid in cids[::2]:
+            cache.owners[cid] = "n1"
+        cache.membership_version += 1
+        after = [sched.shard(0, w) for w in range(2)]
+        assert sched.repins == 1
+        # Read order is committed — only the owner tags refresh.
+        for b, a in zip(before, after):
+            assert a.files == b.files
+            assert [g.chunk_ids for g in a.groups] == [
+                g.chunk_ids for g in b.groups
+            ]
+        owners = {
+            g.owner for plan in after for g in plan.groups if g.owner
+        }
+        assert "n1" in owners
+        # Same version: the re-pinned plan is served from cache.
+        assert sched.shard(0, 0) is after[0]
+        assert sched.repins == 1
+        # A fresh epoch builds against the current map — no repin needed.
+        sched.shard(1, 0)
+        assert sched.repins == 1
+
     def test_epochs_differ_but_are_deterministic(self):
         data = make_dataset()
         a = EpochScheduler(data, 2, ["n0", "n1"], seed=3)

@@ -78,3 +78,73 @@ class TestBreaker:
             CircuitBreaker(env, threshold=0)
         with pytest.raises(ValueError):
             CircuitBreaker(env, reset_s=0.0)
+
+
+class TestAttemptTokens:
+    """Stale stragglers — calls admitted before a trip — carry no news."""
+
+    def test_allow_returns_distinct_truthy_tokens(self):
+        _, b = make()
+        t1, t2 = b.allow(), b.allow()
+        assert t1 and t2 and t1 != t2
+
+    def test_pre_open_straggler_cannot_retrip_recovered_breaker(self):
+        env, b = make(threshold=2, reset_s=1.0)
+        straggler = b.allow()       # slow call admitted while healthy
+        b.record_failure(b.allow())
+        b.record_failure(b.allow())
+        assert b.state == OPEN
+        env.run(until=1.5)
+        probe = b.allow()
+        b.record_success(probe)
+        assert b.state == CLOSED
+        # The straggler's failure finally lands — the trip already priced
+        # that peer in, so the recovered breaker must stay closed.
+        b.record_failure(straggler)
+        assert b.state == CLOSED
+        assert b.trips == 1
+        assert b.stale_reports == 1
+
+    def test_stale_failure_does_not_restart_open_window(self):
+        env, b = make(threshold=1, reset_s=1.0)
+        straggler = b.allow()
+        b.record_failure(b.allow())
+        assert b.state == OPEN
+        env.run(until=0.8)
+        b.record_failure(straggler)  # lands mid-window
+        assert b.stale_reports == 1
+        env.run(until=1.2)
+        # Window measured from the original trip, not the stale report.
+        assert b.state == HALF_OPEN
+        assert b.trips == 1
+
+    def test_non_probe_failure_while_open_is_stale(self):
+        env, b = make(threshold=1, reset_s=1.0)
+        b.record_failure(b.allow())
+        env.run(until=1.5)
+        probe = b.allow()
+        # A different in-flight call (admitted this window via no token
+        # path is legacy; here simulate a post-trip token that is not the
+        # probe) failing must not count as the probe's outcome.
+        b.record_failure(probe + 1000)
+        assert b.state == HALF_OPEN
+        assert b.stale_reports == 1
+        b.record_success(probe)
+        assert b.state == CLOSED
+
+    def test_tokenless_failure_keeps_legacy_behaviour(self):
+        env, b = make(threshold=1, reset_s=1.0)
+        b.record_failure(b.allow())
+        env.run(until=1.5)
+        assert b.allow()
+        b.record_failure()  # legacy caller: counts as the probe failing
+        assert b.state == OPEN
+        assert b.trips == 2
+
+    def test_stale_success_still_closes(self):
+        env, b = make(threshold=1, reset_s=1.0)
+        straggler = b.allow()
+        b.record_failure(b.allow())
+        assert b.state == OPEN
+        b.record_success(straggler)  # the peer answered: it is reachable
+        assert b.state == CLOSED

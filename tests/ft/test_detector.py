@@ -164,3 +164,75 @@ class TestLifecycle:
             FailureDetector(
                 env, heartbeat_interval_s=0.1, failure_timeout_s=0.1
             )
+
+
+def probe_times(det, env, until):
+    """Run the detector, recording the sim time of every probe round."""
+    times = []
+    original = det.probe_now
+
+    def recording():
+        times.append(env.now)
+        original()
+
+    det.probe_now = recording
+    det.start()
+    env.run(until=until)
+    det.stop()
+    return times
+
+
+class TestHeartbeatJitter:
+    def test_zero_jitter_keeps_fixed_interval_schedule(self):
+        env = Environment()
+        det = FailureDetector(env, heartbeat_interval_s=0.05, jitter=0.0)
+        det.watch("p", Peer())
+        times = probe_times(det, env, until=0.5)
+        assert times == pytest.approx([0.05 * (i + 1) for i in range(len(times))])
+        assert len(times) >= 9
+
+    def test_jittered_schedule_is_seeded_and_deterministic(self):
+        def schedule(seed):
+            env = Environment()
+            det = FailureDetector(
+                env, heartbeat_interval_s=0.05, jitter=0.3, seed=seed
+            )
+            det.watch("p", Peer())
+            return probe_times(det, env, until=0.5)
+
+        a, b = schedule(7), schedule(7)
+        assert a == b  # same seed: byte-identical probe schedule
+        assert schedule(7) != schedule(8)
+
+    def test_jittered_gaps_stay_within_the_band(self):
+        env = Environment()
+        det = FailureDetector(env, heartbeat_interval_s=0.05, jitter=0.2)
+        det.watch("p", Peer())
+        times = probe_times(det, env, until=1.0)
+        gaps = [b - a for a, b in zip([0.0] + times, times)]
+        assert all(0.05 * 0.8 - 1e-12 <= g <= 0.05 * 1.2 + 1e-12 for g in gaps)
+        # De-synchronized: not every round lands on the exact interval.
+        assert any(abs(g - 0.05) > 1e-9 for g in gaps)
+
+    def test_jitter_does_not_break_detection(self):
+        env = Environment()
+        det = FailureDetector(
+            env,
+            heartbeat_interval_s=0.05,
+            failure_timeout_s=0.25,
+            jitter=0.4,
+        )
+        peer = Peer()
+        det.watch("p", peer)
+        det.start()
+        env.run(until=0.11)
+        peer.up = False
+        env.run(until=2.0)
+        assert det.state("p") == DEAD
+
+    def test_bad_jitter_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            FailureDetector(env, jitter=1.0)
+        with pytest.raises(ValueError):
+            FailureDetector(env, jitter=-0.1)

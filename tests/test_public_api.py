@@ -71,14 +71,14 @@ def test_experiment_registry_covers_every_artifact():
         "table2", "fig6", "fig9", "fig10a", "fig10b", "fig10c",
         "fig11a", "fig11b", "fig12", "fig13", "fig14", "fig15",
         "prefetch", "ingest", "fanout", "latency", "faults",
-        "locality", "scale", "sharing", "capacity",
+        "locality", "scale", "sharing", "capacity", "elastic",
     }
 
 
 def test_version():
     import repro
 
-    assert repro.__version__ == "1.8.0"
+    assert repro.__version__ == "1.9.0"
 
 
 def test_docstrings_on_public_modules():

@@ -236,3 +236,53 @@ class TestDlcmd:
         capsys.readouterr()
         assert run(tmp_path, "tiers", "-m", "0") == 1
         assert "--ram must be >= 1" in capsys.readouterr().err
+
+    def test_chaos_probe_prints_the_operator_view(self, tmp_path, local_tree,
+                                                  capsys):
+        run(tmp_path, "put", str(local_tree), "/t")
+        capsys.readouterr()
+        assert run(tmp_path, "chaos") == 0
+        out = capsys.readouterr().out
+        assert "chaos probe: 3 task node(s) + 1 live joiner" in out
+        # Membership grew by the live joiner and records the scale event.
+        assert "membership (version 1): 4 master(s)" in out
+        assert "scale event" in out and "scale_up chaos-j3" in out
+        assert "[NIC degraded]" in out
+        # EWMA rows and hedge counters populated by the three passes.
+        assert "peer latency (EWMA, slowest first):" in out
+        assert "sample(s), ewma" in out
+        assert "hedge counters:" in out
+        assert "hedges fired" in out
+        # The armed schedule with its applied window.
+        assert "chaos schedule:" in out
+        assert "degrade_nic:" in out
+        assert "apply degrade_nic" in out
+
+    def test_chaos_probe_single_node(self, tmp_path, local_tree, capsys):
+        run(tmp_path, "put", str(local_tree / "a.bin"), "/a")
+        capsys.readouterr()
+        assert run(tmp_path, "chaos", "-N", "1") == 0
+        out = capsys.readouterr().out
+        assert "membership (version 1): 2 master(s)" in out
+
+    def test_chaos_rejects_bad_args(self, tmp_path, local_tree, capsys):
+        run(tmp_path, "put", str(local_tree), "/t")
+        capsys.readouterr()
+        assert run(tmp_path, "chaos", "-N", "0") == 1
+        assert "--nodes must be >= 1" in capsys.readouterr().err
+
+    def test_chaos_empty_dataset_errors(self, tmp_path, local_tree, capsys):
+        run(tmp_path, "put", str(local_tree / "a.bin"), "/a")
+        run(tmp_path, "rm", "/a")
+        capsys.readouterr()
+        assert run(tmp_path, "chaos") == 1
+        assert "no files to probe" in capsys.readouterr().err
+
+    def test_chaos_does_not_mutate_the_workspace(self, tmp_path, local_tree,
+                                                 capsys):
+        run(tmp_path, "put", str(local_tree / "a.bin"), "/a")
+        capsys.readouterr()
+        ws_file = tmp_path / "test.workspace"
+        before = ws_file.read_bytes()
+        assert run(tmp_path, "chaos") == 0
+        assert ws_file.read_bytes() == before
