@@ -80,6 +80,60 @@ def test_snapshot_load(benchmark):
 
 
 @pytest.mark.benchmark(group="micro-snapshot")
+def test_snapshot_deserialize(benchmark):
+    """The columnar decode path alone (no index build): one
+    ``iter_unpack`` sweep over the entry section, one split over the
+    NUL-joined path section."""
+    blob = make_snapshot().serialize()
+    snap = benchmark(MetadataSnapshot.deserialize, blob)
+    assert snap.file_count == 20_000
+    per_file = benchmark.stats["mean"] / 20_000
+    assert per_file < 2e-6, f"snapshot decode too slow: {per_file:.2e}s/file"
+
+
+@pytest.mark.benchmark(group="micro-snapshot")
+def test_snapshot_apply_delta(benchmark):
+    """In-place delta application must stay O(delta), not O(dataset).
+
+    One 20k-file index lives across all rounds; each round decodes and
+    applies a fresh 100-op journal delta (the versions keep advancing,
+    as they would on a training client refreshing mid-epoch).  The time
+    bound holds per *op*, on an index 200× the delta's size.
+    """
+    from repro.core.meta_journal import JournalEntry, JournalOp, OP_APPEND
+
+    base = make_snapshot()
+    cid = base.chunk_ids[0]
+    index = SnapshotIndex(base)
+    blobs = [
+        JournalEntry(
+            i,  # placeholder ts; re-stamped per round below
+            (
+                JournalOp(
+                    OP_APPEND,
+                    f"/ds/late/img{i:04d}.jpg",
+                    FileRecord(
+                        f"/ds/late/img{i:04d}.jpg", cid, i * 4096, 4096, i
+                    ).encode(),
+                ),
+            ),
+        ).ops
+        for i in range(100)
+    ]
+
+    def apply():
+        ts = index.update_ts
+        entries = [
+            JournalEntry(ts + 1 + i, ops) for i, ops in enumerate(blobs)
+        ]
+        return index.apply_delta(entries)
+
+    assert benchmark(apply) == 100
+    per_op = benchmark.stats["mean"] / 100
+    assert per_op < 2e-5, f"delta apply too slow: {per_op:.2e}s/op"
+
+
+@pytest.mark.benchmark(group="micro-snapshot")
 def test_snapshot_lookup(benchmark):
     """The Fig 10b hot path: must be well under 2µs per lookup."""
     index = SnapshotIndex(make_snapshot())

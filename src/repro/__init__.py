@@ -41,7 +41,7 @@ from repro.core import (
 from repro.core.client import SyncDieselClient
 from repro.sim import Environment
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "Calibration",

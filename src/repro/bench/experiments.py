@@ -2744,6 +2744,263 @@ def fig_elastic(
     return result
 
 
+def fig_metaplane(
+    n_files: int = 5000,
+    file_size: int = 512,
+    chunk_size: int = 64 * KB,
+    append_frac: float = 0.01,
+    page_limit: int = 1000,
+    registry_sizes: Sequence[int] = (1_000, 1_000_000),
+    probe_stats: int = 50,
+    online_files: int = 64,
+    online_late: int = 16,
+    online_group: int = 2,
+) -> ExperimentResult:
+    """The delta metadata plane: journal deltas, pagination, registry scale.
+
+    Four phases, each on a fresh testbed:
+
+    1. **Delta reload** — a client holding a ``n_files`` snapshot sees
+       ``append_frac`` of the dataset appended; ``refresh_meta()``
+       fetches only the journal delta.  Measures delta bytes vs the
+       full snapshot blob and the simulated refresh time vs a full
+       save/load round (the §4.1.3 mutation cliff, removed).
+    2. **Pagination** — the same keyspace walked with cursor-paginated
+       ``pscan`` at ``page_limit``: the paged union must be
+       bit-identical to the unpaginated scan.
+    3. **Registry scale** — the dataset registry grows from
+       ``registry_sizes[0]`` to ``registry_sizes[-1]`` roots while one
+       real dataset's per-client metadata costs (server stat,
+       save+load_meta, one registry page) are measured at each size:
+       namespace growth must not tax per-dataset operations.
+    4. **Online ingest** — a training client commits to half an epoch,
+       new chunks land mid-epoch, the client picks up the delta and
+       ``tail_extend``s its plan: the committed read order stays
+       bit-identical and every file (old and late) is read exactly once.
+    """
+    from repro.core.client import DieselClient
+    from repro.core.shuffle import tail_extend
+
+    result = ExperimentResult(
+        "delta metadata plane",
+        "incremental snapshots, paginated pscan, sharded registry "
+        "(§4.1.3 / §4.1.1 at namespace scale)",
+    )
+    files = {
+        f"/ds/class{i % 50:02d}/img{i:06d}.jpg": bytes([i % 251]) * file_size
+        for i in range(n_files)
+    }
+
+    with timer(result):
+        # --------------------------------------- phase 1: delta reload
+        tb = make_testbed(n_compute=2)
+        add_diesel(tb, n_servers=1)
+        bulk_load_diesel(tb, "ds", files, chunk_size=chunk_size)
+        client = DieselClient(
+            tb.env, tb.compute_nodes[0], tb.diesel_servers, "ds",
+            name="mp0", calibration=tb.cal,
+        )
+        blob = tb.run(client.save_meta())
+        t0 = tb.env.now
+        tb.run(client.load_meta(blob))
+        full_load_s = tb.env.now - t0
+        n_append = max(1, int(n_files * append_frac))
+        late = {
+            f"/ds/late/img{i:06d}.jpg": bytes([i % 251]) * file_size
+            for i in range(n_append)
+        }
+
+        def push():
+            for path, data in late.items():
+                yield from client.put(path, data)
+            yield from client.flush()
+
+        tb.run(push())
+        t0 = tb.env.now
+        tb.run(client.refresh_meta())
+        delta_refresh_s = tb.env.now - t0
+        assert client.stats.delta_reloads == 1, "delta path did not engage"
+        byte_ratio = client.stats.delta_bytes / len(blob)
+        result.add(
+            event="delta_reload", n_files=n_files, appended=n_append,
+            snapshot_bytes=len(blob),
+            delta_bytes=client.stats.delta_bytes,
+            delta_bytes_ratio=byte_ratio,
+            delta_ops=client.stats.delta_ops_applied,
+            full_load_s=full_load_s, delta_refresh_s=delta_refresh_s,
+            journal_depth=tb.diesel.journal.depth("ds"),
+            index_files=client.index.file_count,
+        )
+        result.note(
+            f"delta reload after {append_frac:.0%} append: "
+            f"{client.stats.delta_bytes} B vs {len(blob)} B snapshot "
+            f"({byte_ratio:.2%}), {delta_refresh_s * 1e3:.2f}ms vs "
+            f"{full_load_s * 1e3:.2f}ms full reload"
+        )
+
+        # ----------------------------------------- phase 2: pagination
+        prefix = "f:ds:"
+        flat = tb.kv.local_pscan(prefix)
+        paged: List = []
+        n_pages = 0
+        for page in tb.kv.local_pscan_iter(prefix, page_limit):
+            paged.extend(page)
+            n_pages += 1
+        result.add(
+            event="pagination", prefix=prefix, n_keys=len(flat),
+            page_limit=page_limit, n_pages=n_pages,
+            bit_identical=paged == flat,
+        )
+        result.note(
+            f"paginated pscan: {len(flat)} keys in {n_pages} pages of "
+            f"{page_limit} — union bit-identical: {paged == flat}"
+        )
+
+        # ------------------------------------- phase 3: registry scale
+        tb = make_testbed(n_compute=2)
+        add_diesel(tb, n_servers=1)
+        probe_files = {
+            f"/p/img{i:04d}.jpg": bytes([i % 251]) * file_size
+            for i in range(200)
+        }
+        bulk_load_diesel(tb, "probe-ds", probe_files, chunk_size=chunk_size)
+        registry = tb.diesel.registry
+        probe_paths = sorted(probe_files)[:probe_stats]
+        node = tb.compute_nodes[0]
+
+        def probe_round():
+            """(stat_s, load_s, page_s) per-client metadata costs."""
+            t0 = tb.env.now
+
+            def stats():
+                for p in probe_paths:
+                    yield from tb.diesel.call(node, "stat", "probe-ds", p)
+
+            tb.run(stats())
+            stat_s = (tb.env.now - t0) / len(probe_paths)
+            c = DieselClient(
+                tb.env, node, tb.diesel_servers, "probe-ds",
+                name="mp-probe", calibration=tb.cal,
+            )
+
+            def reload():
+                snap = yield from c.save_meta()
+                yield from c.load_meta(snap)
+
+            t0 = tb.env.now
+            tb.run(reload())
+            load_s = tb.env.now - t0
+
+            def one_page():
+                page = yield from tb.diesel.call(
+                    node, "list_datasets", None, page_limit
+                )
+                return page
+
+            t0 = tb.env.now
+            names, _ = tb.run(one_page())
+            page_s = tb.env.now - t0
+            return stat_s, load_s, page_s, len(names)
+
+        grown = 0
+        baseline: Optional[dict] = None
+        for size in registry_sizes:
+            while grown < size - 1:  # probe-ds itself occupies one slot
+                registry.add(f"reg-ds-{grown:07d}")
+                grown += 1
+            stat_s, load_s, page_s, page_names = probe_round()
+            row = dict(
+                event="registry_scale", datasets=size,
+                stat_s=stat_s, load_meta_s=load_s, page_s=page_s,
+                page_names=page_names,
+                shards=registry.n_shards,
+                max_shard_occupancy=max(registry.occupancy()),
+            )
+            if baseline is None:
+                baseline = row
+                row["stat_ratio"] = row["load_meta_ratio"] = 1.0
+            else:
+                row["stat_ratio"] = stat_s / baseline["stat_s"]
+                row["load_meta_ratio"] = load_s / baseline["load_meta_s"]
+            result.add(**row)
+        result.note(
+            f"registry {registry_sizes[0]} → {registry_sizes[-1]} "
+            f"datasets: stat {row['stat_ratio']:.2f}x, "
+            f"load_meta {row['load_meta_ratio']:.2f}x (flat = 1.0x)"
+        )
+
+        # -------------------------------------- phase 4: online ingest
+        tb = make_testbed(n_compute=2)
+        add_diesel(tb, n_servers=1)
+        online = {
+            f"/o/img{i:04d}.jpg": bytes([i % 251]) * 4096
+            for i in range(online_files)
+        }
+        bulk_load_diesel(tb, "online", online, chunk_size=32 * KB)
+        reader = DieselClient(
+            tb.env, tb.compute_nodes[0], tb.diesel_servers, "online",
+            name="mp-reader", calibration=tb.cal,
+        )
+        snap = tb.run(reader.save_meta())
+        tb.run(reader.load_meta(snap))
+        reader.enable_shuffle(group_size=online_group)
+        plan = reader.epoch_file_list(seed=7)
+        committed = plan.files[: len(plan.files) // 2]
+        late_files = {
+            f"/o/late{i:04d}.jpg": bytes([(i * 7) % 251]) * 4096
+            for i in range(online_late)
+        }
+        read_order: List[str] = []
+
+        def read_span(paths):
+            for path in paths:
+                payload = yield from reader.get(path)
+                assert payload == (online.get(path) or late_files[path])
+                read_order.append(path)
+
+        tb.run(read_span(committed))
+        # New data lands mid-epoch from a separate writer.
+        writer = DieselClient(
+            tb.env, tb.compute_nodes[1], tb.diesel_servers, "online",
+            name="mp-writer", calibration=tb.cal,
+        )
+
+        def push_late():
+            for path, data in late_files.items():
+                yield from writer.put(path, data)
+            yield from writer.flush()
+
+        tb.run(push_late())
+        tb.run(reader.refresh_meta())
+        extended = tail_extend(
+            plan, reader.index.files_by_chunk(), online_group,
+            random.Random(11),
+        )
+        tb.run(read_span(extended.files[len(committed):]))
+        lost = (set(online) | set(late_files)) - set(read_order)
+        dup = len(read_order) - len(set(read_order))
+        order_preserved = (
+            read_order[: len(committed)] == committed
+            and extended.files[: len(plan.files)] == plan.files
+        )
+        result.add(
+            event="online_ingest", n_files=online_files,
+            late_files=online_late,
+            delta_reloads=reader.stats.delta_reloads,
+            delta_ops=reader.stats.delta_ops_applied,
+            lost_reads=len(lost), duplicate_reads=dup,
+            committed_order_preserved=order_preserved,
+            epoch_reads=len(read_order),
+        )
+        result.note(
+            f"online ingest: {online_late} files appended mid-epoch, "
+            f"picked up via delta ({reader.stats.delta_ops_applied} ops) "
+            f"— {len(lost)} lost reads, committed order preserved: "
+            f"{order_preserved}"
+        )
+    return result
+
+
 #: Registry used by the CLI-style runner and the EXPERIMENTS.md generator.
 ALL_EXPERIMENTS = {
     "table2": table2_read_bandwidth,
@@ -2768,4 +3025,5 @@ ALL_EXPERIMENTS = {
     "sharing": model_selection,
     "capacity": capacity,
     "elastic": fig_elastic,
+    "metaplane": fig_metaplane,
 }

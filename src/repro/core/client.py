@@ -31,11 +31,17 @@ from repro.core.chunk_builder import ChunkBuilder, ChunkPipeline
 from repro.core.config import DieselConfig
 from repro.core.dist_cache import CacheClient, TaskCache
 from repro.core.meta import FileRecord
+from repro.core.meta_journal import JournalEntry
 from repro.core.prefetch import ChunkPrefetcher
 from repro.core.server import DieselServer
 from repro.core.shuffle import EpochPlan, chunkwise_shuffle, full_shuffle
 from repro.core.snapshot import MetadataSnapshot, SnapshotIndex
-from repro.errors import ClosedError, DieselError, StaleSnapshotError
+from repro.errors import (
+    ClosedError,
+    DeltaConflictError,
+    DieselError,
+    StaleSnapshotError,
+)
 from repro.cluster.node import Node
 from repro.sim.engine import Environment, Event, fan_out
 from repro.util.hashing import stable_hash
@@ -105,6 +111,14 @@ class ClientStats:
     #: Times a live prefetch pipeline was re-steered at a new chunk→
     #: master map after an elastic membership change.
     membership_repins: int = 0
+    #: Delta metadata plane: refresh_meta() rounds resolved with an
+    #: incremental journal delta vs full-snapshot fallbacks, the ops
+    #: applied in place, and the delta bytes transferred (compare with
+    #: the full snapshot blob size to see the §4.1.3 win).
+    delta_reloads: int = 0
+    delta_ops_applied: int = 0
+    delta_bytes: int = 0
+    full_reloads: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         """All counters as ``{name: value}`` (the bench-reporting seam).
@@ -792,6 +806,54 @@ class DieselClient:
         self._index = SnapshotIndex(snapshot)
         return self._index
 
+    def refresh_meta(self) -> Generator[Event, Any, SnapshotIndex]:
+        """Bring the loaded snapshot up to date incrementally.
+
+        Asks a server for the mutation-journal delta since the index's
+        version and applies it in place — O(delta) work and bytes, not
+        O(dataset).  Falls back to a full ``save_meta``/``load_meta``
+        round when the client's version has dropped past the journal's
+        compaction horizon (or a delta fails to apply).  Returns the
+        (possibly replaced) live index.
+        """
+        self._check_open()
+        if self._index is None:
+            raise DieselError("no metadata snapshot loaded (call DL_load_meta)")
+        rec = self.recorder
+        t0 = self.env.now if rec is not None else 0.0
+        resp = yield from self._server().call(
+            self.node, "load_meta_delta", self.dataset, self._index.update_ts
+        )
+        if resp["mode"] == "delta":
+            blobs = resp["entries"]
+            entries = [JournalEntry.decode(b) for b in blobs]
+            try:
+                applied = self._index.apply_delta(entries)
+            except DeltaConflictError:
+                # Journal and index disagree (e.g. a competing refresh
+                # already applied part of the range): reload in full.
+                pass
+            else:
+                self.stats.delta_reloads += 1
+                self.stats.delta_ops_applied += applied
+                self.stats.delta_bytes += sum(len(b) for b in blobs)
+                # In-place apply costs one index update per op.
+                yield self.env.timeout(
+                    applied * self.cal.diesel.client_meta_lookup_s
+                )
+                if rec is not None:
+                    rec.record("refresh_meta", "delta", self.env.now - t0,
+                               actor=self.name, ops=applied)
+                return self._index
+        # Horizon passed (or conflict): full snapshot round trip.
+        self.stats.full_reloads += 1
+        blob = yield from self.save_meta()
+        index = yield from self.load_meta(blob)
+        if rec is not None:
+            rec.record("refresh_meta", "full", self.env.now - t0,
+                       actor=self.name, ops=len(index.snapshot.files))
+        return index
+
     # -------------------------------------------------------------- shuffle
     def enable_shuffle(self, group_size: Optional[int] = None) -> None:
         """DL_shuffle: turn on chunk-wise shuffle mode (§4.3)."""
@@ -961,6 +1023,9 @@ class SyncDieselClient:
 
     def load_meta(self, blob: bytes) -> SnapshotIndex:
         return self._run(self.client.load_meta(blob))
+
+    def refresh_meta(self) -> SnapshotIndex:
+        return self._run(self.client.refresh_meta())
 
     def delete(self, path: str) -> None:
         self._run(self.client.delete(path))

@@ -141,6 +141,21 @@ class DieselConfig:
     #: in ``[1 - jitter, 1 + jitter]`` so large fleets do not probe in
     #: lockstep bursts.  0 keeps the exact fixed-interval schedule.
     heartbeat_jitter: float = 0.1
+    #: Mutation-journal entries retained per dataset (the delta metadata
+    #: plane, ``repro.core.meta_journal``): a client whose snapshot is at
+    #: most this many versions old refreshes by applying the delta
+    #: instead of a full O(dataset) snapshot reload; older clients fall
+    #: back to the full path.  0 disables journaling entirely.
+    meta_journal_horizon: int = 256
+    #: Page size (keys per round trip) for cursor-paginated prefix scans:
+    #: ``ls -lR``, snapshot builds and registry listings stream pages of
+    #: this size instead of materializing the whole prefix range.
+    pscan_page_size: int = 1024
+    #: Registry shards the dataset namespace is spread over
+    #: (``repro.core.registry``); each shard is one independently
+    #: pageable key range.  Rebalance the registry when changing this on
+    #: a live deployment.
+    registry_shards: int = 16
 
     def __post_init__(self) -> None:
         if self.chunk_size <= 0:
@@ -205,6 +220,12 @@ class DieselConfig:
             raise ValueError("hedge_ewma_alpha must be in (0, 1]")
         if not 0.0 <= self.heartbeat_jitter < 1.0:
             raise ValueError("heartbeat_jitter must be in [0, 1)")
+        if self.meta_journal_horizon < 0:
+            raise ValueError("meta_journal_horizon must be >= 0")
+        if self.pscan_page_size < 1:
+            raise ValueError("pscan_page_size must be >= 1")
+        if self.registry_shards < 1:
+            raise ValueError("registry_shards must be >= 1")
 
 
 class ConfigStore:

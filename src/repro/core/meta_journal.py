@@ -1,0 +1,234 @@
+"""Per-dataset mutation journal: the delta metadata plane.
+
+§4.1.3 snapshots make steady-state metadata reads free, but any mutation
+bumps the dataset ``update_ts`` and used to force every client through a
+full ``DL_save_meta`` blob download plus an O(dataset) index rebuild.
+The journal removes that cliff: every metadata mutation (chunk ingest,
+file delete, chunk drop) appends one entry keyed by the monotonic
+``update_ts`` it produced, and a client holding version *v* fetches only
+the entries in ``(v, current]`` and patches its
+:class:`~repro.core.snapshot.SnapshotIndex` in place.
+
+The journal lives in the shared KV cluster — not in server memory — so
+any of the stateless DIESEL servers can serve any client's delta::
+
+    jr:<ds>:<ts, zero-padded>   one JournalEntry (the ops of one mutation)
+    jrm:<ds>                    journal meta: (oldest ts, newest ts, count)
+
+Versions are contiguous (every ``update_ts`` bump journals exactly one
+entry), so a delta fetch is ``O(delta)`` point gets — no scan.  The
+journal is compacted past a configurable horizon: once more than
+``horizon`` entries are retained, the oldest are dropped, and a client
+whose version predates the oldest retained entry falls back to a full
+snapshot reload.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import DieselError
+from repro.kvstore.sharded import ShardedKV
+
+_U32 = struct.Struct(">I")
+_ENTRY_HEAD = struct.Struct(">QI")  # ts, op count
+_OP_HEAD = struct.Struct(">BII")  # kind, path len, payload len
+_META = struct.Struct(">QQI")  # oldest ts, newest ts, count
+
+#: Upsert one file record (payload = encoded FileRecord).
+OP_APPEND = 0
+#: Remove one path (payload empty).
+OP_DELETE = 1
+#: Add one chunk ID to the dataset's chunk list (payload = raw chunk id).
+OP_CHUNK_ADD = 2
+#: Drop one chunk ID from the dataset's chunk list (payload = raw id).
+OP_CHUNK_DROP = 3
+
+_KINDS = frozenset({OP_APPEND, OP_DELETE, OP_CHUNK_ADD, OP_CHUNK_DROP})
+
+
+def journal_key(dataset: str, ts: int) -> str:
+    """Journal-entry key; zero-padded so key order equals version order."""
+    return f"jr:{dataset}:{ts:020d}"
+
+
+def journal_prefix(dataset: str) -> str:
+    return f"jr:{dataset}:"
+
+
+def journal_meta_key(dataset: str) -> str:
+    return f"jrm:{dataset}"
+
+
+@dataclass(frozen=True)
+class JournalOp:
+    """One mutation primitive inside a journal entry."""
+
+    kind: int
+    path: str = ""
+    payload: bytes = b""
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise DieselError(f"unknown journal op kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """All ops of one metadata mutation, at its ``update_ts``.
+
+    One chunk ingest appends many files at a single timestamp, so an
+    entry carries a batch of ops; the dataset version history maps 1:1
+    to journal entries, not to individual ops.
+    """
+
+    ts: int
+    ops: Tuple[JournalOp, ...]
+
+    def encode(self) -> bytes:
+        parts = [_ENTRY_HEAD.pack(self.ts, len(self.ops))]
+        for op in self.ops:
+            path = op.path.encode("utf-8")
+            parts.append(_OP_HEAD.pack(op.kind, len(path), len(op.payload)))
+            parts.append(path)
+            parts.append(op.payload)
+        return b"".join(parts)
+
+    @classmethod
+    def decode(cls, blob: bytes) -> "JournalEntry":
+        ts, n_ops = _ENTRY_HEAD.unpack_from(blob, 0)
+        pos = _ENTRY_HEAD.size
+        ops = []
+        for _ in range(n_ops):
+            kind, path_len, payload_len = _OP_HEAD.unpack_from(blob, pos)
+            pos += _OP_HEAD.size
+            path = blob[pos : pos + path_len].decode("utf-8")
+            pos += path_len
+            payload = blob[pos : pos + payload_len]
+            pos += payload_len
+            ops.append(JournalOp(kind, path, payload))
+        return cls(ts, tuple(ops))
+
+
+class MetaJournal:
+    """KV-backed mutation journal with horizon compaction.
+
+    All methods are zero-cost local KV operations (the recording server
+    charges its KV pipeline cost separately); state is fully shared
+    through the KV cluster, so every co-located server sees one journal.
+    """
+
+    def __init__(self, kv: ShardedKV, horizon: int) -> None:
+        if horizon < 0:
+            raise ValueError("journal horizon must be >= 0")
+        self.kv = kv
+        self.horizon = horizon
+
+    # ----------------------------------------------------------- recording
+    def _meta(self, dataset: str) -> Optional[Tuple[int, int, int]]:
+        blob = self.kv.local_get_or_none(journal_meta_key(dataset))
+        if blob is None:
+            return None
+        return _META.unpack(blob)
+
+    def record(
+        self, dataset: str, ts: int, ops: Sequence[JournalOp]
+    ) -> int:
+        """Journal one mutation at version ``ts``; compacts past the
+        horizon.  Returns the number of KV pairs written (0 when
+        journaling is disabled, i.e. ``horizon == 0``)."""
+        if self.horizon == 0 or not ops:
+            return 0
+        meta = self._meta(dataset)
+        if meta is None:
+            oldest, count = ts, 1
+        else:
+            oldest, newest, count = meta
+            if ts <= newest:
+                raise DieselError(
+                    f"journal for {dataset!r} is at ts {newest}, "
+                    f"cannot record ts {ts}"
+                )
+            count += 1
+        entry = JournalEntry(ts, tuple(ops))
+        self.kv.local_put(journal_key(dataset, ts), entry.encode())
+        while count > self.horizon:
+            self.kv.local_delete(journal_key(dataset, oldest))
+            oldest += 1
+            count -= 1
+        self.kv.local_put(
+            journal_meta_key(dataset), _META.pack(oldest, ts, count)
+        )
+        return 2
+
+    def drop(self, dataset: str) -> int:
+        """Remove the dataset's whole journal (DL_delete_dataset)."""
+        meta = self._meta(dataset)
+        if meta is None:
+            return 0
+        oldest, newest, _ = meta
+        for ts in range(oldest, newest + 1):
+            key = journal_key(dataset, ts)
+            if self.kv.local_get_or_none(key) is not None:
+                self.kv.local_delete(key)
+        self.kv.local_delete(journal_meta_key(dataset))
+        return newest - oldest + 1
+
+    def reset(self, dataset: str) -> int:
+        """Hard-delete every journal key for ``dataset`` by prefix sweep.
+
+        Unlike :meth:`drop`, trusts nothing: after a KV shard loss the
+        ``jrm:`` meta record or individual entries may be gone, leaving
+        orphans that :meth:`drop` would miss.  Metadata recovery resets
+        the journal before replaying chunks — the replay re-journals its
+        re-ingests, so clients at pre-failure versions still converge
+        (or fall back to a full reload).  Returns keys removed.
+        """
+        stale = [k for k, _ in self.kv.local_pscan(journal_prefix(dataset))]
+        for key in stale:
+            self.kv.local_delete(key)
+        removed = len(stale)
+        if self.kv.local_get_or_none(journal_meta_key(dataset)) is not None:
+            self.kv.local_delete(journal_meta_key(dataset))
+            removed += 1
+        return removed
+
+    # ------------------------------------------------------------- reading
+    def depth(self, dataset: str) -> int:
+        """Number of retained entries (the dlcmd/occupancy probe)."""
+        meta = self._meta(dataset)
+        return meta[2] if meta is not None else 0
+
+    def span(self, dataset: str) -> Optional[Tuple[int, int]]:
+        """(oldest, newest) retained versions, or None when empty."""
+        meta = self._meta(dataset)
+        return (meta[0], meta[1]) if meta is not None else None
+
+    def entries_since(
+        self, dataset: str, from_ts: int
+    ) -> Optional[list[JournalEntry]]:
+        """Entries covering versions ``(from_ts, newest]``, oldest first.
+
+        Returns ``None`` when the journal cannot serve the delta — the
+        horizon has compacted past ``from_ts`` (or the dataset was never
+        journaled) — in which case the caller must fall back to a full
+        snapshot reload.  Versions are contiguous, so the fetch is one
+        point get per entry: O(delta), never a scan.
+        """
+        meta = self._meta(dataset)
+        if meta is None:
+            return None
+        oldest, newest, _ = meta
+        if from_ts >= newest:
+            return []
+        if from_ts + 1 < oldest:
+            return None  # horizon passed: the gap is unrecoverable
+        entries = []
+        for ts in range(from_ts + 1, newest + 1):
+            blob = self.kv.local_get_or_none(journal_key(dataset, ts))
+            if blob is None:
+                return None  # hole (concurrent compaction): full reload
+            entries.append(JournalEntry.decode(blob))
+        return entries

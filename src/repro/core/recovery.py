@@ -76,7 +76,14 @@ def rebuild_dataset(
     Returns the number of chunks scanned.  The rebuilt dataset record's
     version restarts from the scan (monotonicity within the rebuild is
     preserved because chunks are replayed in written order).
+
+    The dataset's mutation journal is reset up front: the failed shard
+    may have held journal entries, and a journal with holes cannot serve
+    deltas.  The replay then re-journals each re-ingest, so delta
+    clients converge through the rebuilt entries or fall back to a full
+    snapshot reload.
     """
+    server.journal.reset(dataset)
     keys = _scan_keys(server, dataset, from_timestamp)
     if fanout > 1 and len(keys) > 1:
         headers = yield from fan_out(

@@ -31,6 +31,15 @@ from repro.calibration import Calibration, DEFAULT
 from repro.core import meta
 from repro.core.chunk import Chunk
 from repro.core.config import DieselConfig
+from repro.core.meta_journal import (
+    OP_APPEND,
+    OP_CHUNK_ADD,
+    OP_CHUNK_DROP,
+    OP_DELETE,
+    JournalOp,
+    MetaJournal,
+)
+from repro.core.registry import DatasetRegistry
 from repro.core.snapshot import MetadataSnapshot, build_snapshot
 from repro.errors import (
     DatasetNotFoundError,
@@ -51,7 +60,10 @@ AnyStore = Union[ObjectStore, TieredStore]
 
 #: Methods that are pure metadata (charged at the metadata service rate).
 _META_METHODS = frozenset(
-    {"stat", "ls", "dataset_ts", "exists", "save_meta", "register", "auth"}
+    {
+        "stat", "ls", "dataset_ts", "exists", "save_meta", "register",
+        "auth", "load_meta_delta", "list_datasets",
+    }
 )
 
 
@@ -125,6 +137,10 @@ class DieselServer:
         #: Registration log: one dict per task registration (dataset,
         #: client, tenant, qos_class, at) — the ``dlcmd tenants`` seam.
         self.registrations: list[dict] = []
+        # Delta metadata plane: both live in the shared KV, so every
+        # stateless server sees the same journal and registry.
+        self.journal = MetaJournal(kv, self.config.meta_journal_horizon)
+        self.registry = DatasetRegistry(kv, self.config.registry_shards)
         #: Optional user→key credentials checked by DL_connect; None
         #: means open access (the default in trusted-cluster deployments).
         self.access_keys = access_keys
@@ -185,6 +201,8 @@ class DieselServer:
             "delete_dataset": self._op_delete_dataset,
             "register": self._op_register,
             "auth": self._op_auth,
+            "load_meta_delta": self._op_load_meta_delta,
+            "list_datasets": self._op_list_datasets,
         }
         try:
             op = dispatch[method]
@@ -273,12 +291,15 @@ class DieselServer:
         (recovery scans read headers, not payloads).
         """
         pairs: list[tuple[str, bytes]] = []
+        ops: list[JournalOp] = []
         for i, f in enumerate(chunk.files):
             if chunk.deletion_bitmap.get(i):
                 continue  # tombstoned files must not resurrect on rescan
             rec = meta.FileRecord(f.path, chunk.chunk_id, f.offset, f.length, f.crc32)
             pairs.append((meta.file_key(dataset, f.path), rec.encode()))
             pairs.extend(meta.directory_entry_pairs(dataset, f.path))
+            ops.append(JournalOp(OP_APPEND, f.path, rec.encode()))
+        ops.append(JournalOp(OP_CHUNK_ADD, "", chunk.chunk_id.raw))
         ts = self._next_ts(dataset)
         crec = meta.ChunkRecord(
             chunk.chunk_id,
@@ -297,7 +318,10 @@ class DieselServer:
         pairs.append((meta.dataset_key(dataset), dsrec.encode()))
         for k, v in pairs:
             self.kv.local_put(k, v)
-        return len(pairs)
+        n_journal = self.journal.record(dataset, ts, ops)
+        if old is None:
+            self.registry.add(dataset)
+        return len(pairs) + n_journal
 
     # ------------------------------------------------------------ operations
     def _op_ingest_chunk(
@@ -479,12 +503,19 @@ class DieselServer:
         raise FileNotFoundInDatasetError(path)
 
     def _op_ls(self, dataset: str, path: str) -> list[str]:
-        """readdir = pscan hash(dir)/d ∪ pscan hash(dir)/f (§4.1.1)."""
+        """readdir = pscan hash(dir)/d ∪ pscan hash(dir)/f (§4.1.1).
+
+        Scans page by page (``pscan_page_size``) so a directory with
+        millions of entries never materializes per-shard intermediate
+        lists larger than one page.
+        """
         names: list[str] = []
         for kind in ("d", "f"):
             prefix = meta.dir_scan_prefix(dataset, path, kind)
-            for key, _ in self.kv.local_pscan(prefix):
-                names.append(key[len(prefix):])
+            for page in self.kv.local_pscan_iter(
+                prefix, self.config.pscan_page_size
+            ):
+                names.extend(key[len(prefix):] for key, _ in page)
         return sorted(names)
 
     def _op_exists(self, dataset: str, path: str) -> bool:
@@ -541,12 +572,54 @@ class DieselServer:
         return snapshot.serialize()
 
     def build_snapshot(self, dataset: str) -> MetadataSnapshot:
-        """Assemble the snapshot from KV (no simulated cost; see save_meta)."""
+        """Assemble the snapshot from KV (no simulated cost; see save_meta).
+
+        File records stream in via paginated pscan so assembling a huge
+        dataset's snapshot holds one page per shard at a time, not the
+        whole keyspace slice.
+        """
         dsrec = self._dataset_record(dataset)
         files: list[meta.FileRecord] = []
-        for _, blob in self.kv.local_pscan(meta.file_key_prefix(dataset)):
-            files.append(meta.FileRecord.decode(blob))
+        for page in self.kv.local_pscan_iter(
+            meta.file_key_prefix(dataset), self.config.pscan_page_size
+        ):
+            files.extend(meta.FileRecord.decode(blob) for _, blob in page)
         return build_snapshot(dataset, dsrec.update_ts, files, dsrec.chunk_ids)
+
+    def _op_load_meta_delta(
+        self, dataset: str, from_ts: int
+    ) -> Generator[Event, Any, dict]:
+        """Serve the metadata delta since ``from_ts`` (incremental §4.1.3).
+
+        Returns ``{"mode": "delta", "ts", "entries"}`` with the encoded
+        journal entries ``(from_ts, current]`` when the journal still
+        retains them, or ``{"mode": "full", "ts"}`` when the client's
+        version has fallen past the compaction horizon and must reload
+        the full snapshot.  Cost is O(delta) point gets, not O(dataset).
+        """
+        current = self._dataset_record(dataset).update_ts
+        if from_ts > current:
+            raise DieselError(
+                f"client ts {from_ts} is ahead of dataset ts {current}"
+            )
+        entries = self.journal.entries_since(dataset, from_ts)
+        if entries is None:
+            yield self.env.timeout(self._kv_pipeline_cost(1))
+            return {"mode": "full", "ts": current}
+        yield self.env.timeout(self._kv_pipeline_cost(max(1, len(entries))))
+        return {
+            "mode": "delta",
+            "ts": current,
+            "entries": tuple(e.encode() for e in entries),
+        }
+
+    def _op_list_datasets(
+        self, cursor: Optional[str] = None, limit: Optional[int] = None
+    ) -> Generator[Event, Any, Tuple[list[str], Optional[str]]]:
+        """One page of the sharded dataset registry (name-sorted)."""
+        names, next_cursor = self.registry.list_page(cursor, limit)
+        yield self.env.timeout(self._kv_pipeline_cost(max(1, len(names))))
+        return names, next_cursor
 
     def _op_delete_file(
         self, dataset: str, path: str
@@ -587,7 +660,10 @@ class DieselServer:
             meta.dataset_key(dataset),
             meta.DatasetRecord(dataset, ts, dsrec.chunk_ids).encode(),
         )
-        yield self.env.timeout(self._kv_pipeline_cost(4))
+        n_journal = self.journal.record(
+            dataset, ts, [JournalOp(OP_DELETE, path)]
+        )
+        yield self.env.timeout(self._kv_pipeline_cost(4 + n_journal))
 
     def _op_purge(self, dataset: str) -> Generator[Event, Any, int]:
         """DL_purge: rewrite chunks that contain deletion holes (§5).
@@ -634,6 +710,9 @@ class DieselServer:
         ts = self._next_ts(dataset)
         dsrec = self._dataset_record(dataset).without_chunks([cid], ts)
         self.kv.local_put(meta.dataset_key(dataset), dsrec.encode())
+        self.journal.record(
+            dataset, ts, [JournalOp(OP_CHUNK_DROP, "", cid.raw)]
+        )
 
     def _op_delete_dataset(self, dataset: str) -> Generator[Event, Any, int]:
         """DL_delete_dataset: remove every chunk and KV pair (§5)."""
@@ -647,8 +726,13 @@ class DieselServer:
             meta.chunk_key_prefix(dataset),
             f"dir:{dataset}:",
         ):
-            for key, _ in self.kv.local_pscan(prefix):
-                self.kv.local_delete(key)
+            for page in self.kv.local_pscan_iter(
+                prefix, self.config.pscan_page_size
+            ):
+                for key, _ in page:
+                    self.kv.local_delete(key)
+        self.journal.drop(dataset)
+        self.registry.remove(dataset)
         self.kv.local_delete(meta.dataset_key(dataset))
         yield self.env.timeout(self._kv_pipeline_cost(max(1, n)))
         return n
@@ -684,7 +768,8 @@ class DieselServer:
 
     # ----------------------------------------------------------- inspection
     def datasets(self) -> list[str]:
-        return [k[len("ds:"):] for k, _ in self.kv.local_pscan("ds:")]
+        """Every dataset name, via the sharded registry (sorted)."""
+        return self.registry.dataset_names()
 
     def dataset_info(self, dataset: str) -> meta.DatasetRecord:
         return self._dataset_record(dataset)

@@ -129,6 +129,18 @@ class EpochPlan:
             )
         return EpochPlan(tuple(groups))
 
+    def extended(self, new_groups: Sequence[ShuffleGroup]) -> "EpochPlan":
+        """This plan plus ``new_groups`` appended at the tail.
+
+        The online-ingest discipline mirrors :meth:`repin`: the already
+        planned portion of the epoch stays bit-identical (committed
+        reads must not move), and newly ingested data only ever joins
+        at the end of the order.
+        """
+        if not new_groups:
+            return self
+        return EpochPlan(self.groups + tuple(new_groups))
+
     def partition(
         self,
         n_workers: int,
@@ -216,6 +228,35 @@ def chunkwise_shuffle(
     if owner_of is not None:
         rng.shuffle(groups)  # owner buckets must not imply epoch order
     return EpochPlan(tuple(groups))
+
+
+def tail_extend(
+    plan: EpochPlan,
+    files_by_chunk: Mapping[ChunkId, Sequence[str]],
+    group_size: int,
+    rng: random.Random,
+    owner_of: Optional[Callable[[ChunkId], Optional[str]]] = None,
+) -> EpochPlan:
+    """Fold newly ingested chunks into a live epoch, tail-only.
+
+    ``files_by_chunk`` is the dataset's *current* grouping (e.g. from a
+    delta-refreshed index).  Chunks already scheduled in ``plan`` are
+    left untouched — their position, grouping and file order stay
+    bit-identical, so everything a training client has committed to
+    reading keeps its order.  Only chunks the plan has never seen are
+    chunk-wise shuffled (same three steps as a fresh epoch) and appended
+    as new tail groups.  Returns ``plan`` itself when nothing is new.
+    """
+    seen = {cid for g in plan.groups for cid in g.chunk_ids}
+    fresh = {
+        cid: files
+        for cid, files in files_by_chunk.items()
+        if cid not in seen and files
+    }
+    if not fresh:
+        return plan
+    tail = chunkwise_shuffle(fresh, group_size, rng, owner_of=owner_of)
+    return plan.extended(tail.groups)
 
 
 def shuffle_quality(

@@ -14,12 +14,18 @@ record in the KV store; stale loads raise :class:`StaleSnapshotError`.
 
 from __future__ import annotations
 
+import bisect
 import struct
 from dataclasses import dataclass
 from typing import Iterator, Optional, Sequence
 
 from repro.core.meta import FileRecord
-from repro.errors import ChunkFormatError, FileNotFoundInDatasetError
+from repro.core import meta_journal as mj
+from repro.errors import (
+    ChunkFormatError,
+    DeltaConflictError,
+    FileNotFoundInDatasetError,
+)
 from repro.util.ids import CHUNK_ID_BYTES, ChunkId
 from repro.util.pathutil import dirname, normalize
 
@@ -27,6 +33,7 @@ MAGIC = b"DSNP"
 _U32 = struct.Struct(">I")
 _U64 = struct.Struct(">Q")
 _FILE_ENTRY = struct.Struct(">IQQI")  # chunk index, offset, length, crc
+_CID = struct.Struct(f">{CHUNK_ID_BYTES}s")
 
 
 @dataclass(frozen=True)
@@ -39,31 +46,50 @@ class MetadataSnapshot:
     files: tuple[FileRecord, ...]
 
     def serialize(self) -> bytes:
-        """Compact binary form (chunk table + per-file entries)."""
+        """Compact binary form: chunk table + columnar file entries.
+
+        The layout is columnar — all paths NUL-joined in one section,
+        all fixed-width entries packed back to back in another — so both
+        directions run as single-pass bulk operations (one ``join`` here,
+        one :func:`struct.iter_unpack` sweep in :meth:`deserialize`)
+        instead of a Python loop of per-file packs.
+        """
         chunk_index = {cid: i for i, cid in enumerate(self.chunk_ids)}
-        out = bytearray()
-        out += MAGIC
+        pack = _FILE_ENTRY.pack
+        try:
+            entries = b"".join(
+                [
+                    pack(chunk_index[f.chunk_id], f.offset, f.length, f.crc32)
+                    for f in self.files
+                ]
+            )
+        except KeyError:
+            bad = next(
+                f for f in self.files if f.chunk_id not in chunk_index
+            )
+            raise ChunkFormatError(
+                f"file {bad.path!r} references chunk "
+                f"{bad.chunk_id.encode()} not in the snapshot's chunk list"
+            ) from None
+        paths = "\0".join(f.path for f in self.files)
+        if self.files and paths.count("\0") != len(self.files) - 1:
+            raise ChunkFormatError("file paths must not contain NUL")
+        paths_blob = paths.encode("utf-8")
         name = self.dataset.encode("utf-8")
-        out += _U32.pack(len(name))
-        out += name
-        out += _U64.pack(self.update_ts)
-        out += _U32.pack(len(self.chunk_ids))
-        for cid in self.chunk_ids:
-            out += cid.raw
-        out += _U32.pack(len(self.files))
-        for f in self.files:
-            try:
-                ci = chunk_index[f.chunk_id]
-            except KeyError:
-                raise ChunkFormatError(
-                    f"file {f.path!r} references chunk "
-                    f"{f.chunk_id.encode()} not in the snapshot's chunk list"
-                ) from None
-            path = f.path.encode("utf-8")
-            out += _U32.pack(len(path))
-            out += path
-            out += _FILE_ENTRY.pack(ci, f.offset, f.length, f.crc32)
-        return bytes(out)
+        return b"".join(
+            (
+                MAGIC,
+                _U32.pack(len(name)),
+                name,
+                _U64.pack(self.update_ts),
+                _U32.pack(len(self.chunk_ids)),
+                b"".join(cid.raw for cid in self.chunk_ids),
+                _U32.pack(len(self.files)),
+                _U32.pack(len(paths_blob)),
+                paths_blob,
+                entries,
+            )
+        )
 
     @classmethod
     def deserialize(cls, blob: bytes) -> "MetadataSnapshot":
@@ -78,21 +104,32 @@ class MetadataSnapshot:
         pos += 8
         (n_chunks,) = _U32.unpack_from(blob, pos)
         pos += 4
-        chunk_ids = []
-        for _ in range(n_chunks):
-            chunk_ids.append(ChunkId(blob[pos : pos + CHUNK_ID_BYTES]))
-            pos += CHUNK_ID_BYTES
+        cid_end = pos + n_chunks * CHUNK_ID_BYTES
+        chunk_ids = [
+            ChunkId(raw) for (raw,) in _CID.iter_unpack(blob[pos:cid_end])
+        ]
+        pos = cid_end
         (n_files,) = _U32.unpack_from(blob, pos)
         pos += 4
-        files = []
-        for _ in range(n_files):
-            (path_len,) = _U32.unpack_from(blob, pos)
-            pos += 4
-            path = blob[pos : pos + path_len].decode("utf-8")
-            pos += path_len
-            ci, offset, length, crc = _FILE_ENTRY.unpack_from(blob, pos)
-            pos += _FILE_ENTRY.size
-            files.append(FileRecord(path, chunk_ids[ci], offset, length, crc))
+        (paths_len,) = _U32.unpack_from(blob, pos)
+        pos += 4
+        if n_files:
+            paths = blob[pos : pos + paths_len].decode("utf-8").split("\0")
+        else:
+            paths = []
+        if len(paths) != n_files:
+            raise ChunkFormatError(
+                f"snapshot path section holds {len(paths)} paths, "
+                f"header says {n_files}"
+            )
+        pos += paths_len
+        entries_end = pos + n_files * _FILE_ENTRY.size
+        files = [
+            FileRecord(path, chunk_ids[ci], offset, length, crc)
+            for path, (ci, offset, length, crc) in zip(
+                paths, _FILE_ENTRY.iter_unpack(blob[pos:entries_end])
+            )
+        ]
         return cls(dataset, ts, tuple(chunk_ids), tuple(files))
 
     @property
@@ -104,10 +141,19 @@ class MetadataSnapshot:
 
 
 class SnapshotIndex:
-    """A loaded snapshot: O(1) file lookup + reconstructed hierarchy."""
+    """A loaded snapshot: O(1) file lookup + reconstructed hierarchy.
+
+    The index is *live*: :meth:`apply_delta` patches it in place from a
+    dataset's mutation journal, advancing :attr:`update_ts` past the
+    originally loaded blob.  ``snapshot`` therefore records what was
+    loaded, while ``update_ts`` / ``chunk_ids()`` / lookups reflect every
+    applied delta.
+    """
 
     def __init__(self, snapshot: MetadataSnapshot) -> None:
         self.snapshot = snapshot
+        self._update_ts = snapshot.update_ts
+        self._chunk_ids: list[ChunkId] = sorted(snapshot.chunk_ids)
         self._files: dict[str, FileRecord] = {}
         self._dirs: dict[str, set[str]] = {"/": set()}
         for rec in snapshot.files:
@@ -134,7 +180,8 @@ class SnapshotIndex:
 
     @property
     def update_ts(self) -> int:
-        return self.snapshot.update_ts
+        """Current version: the loaded blob's ts plus applied deltas."""
+        return self._update_ts
 
     @property
     def file_count(self) -> int:
@@ -207,7 +254,96 @@ class SnapshotIndex:
         return self._by_chunk
 
     def chunk_ids(self) -> tuple[ChunkId, ...]:
-        return self.snapshot.chunk_ids
+        return tuple(self._chunk_ids)
+
+    # ------------------------------------------------------------- deltas
+    def apply_delta(self, entries: Sequence["mj.JournalEntry"]) -> int:
+        """Patch the index in place from journal ``entries``; O(delta).
+
+        ``entries`` must be the contiguous run of mutations immediately
+        following this index's version — the first entry at
+        ``update_ts + 1``, each next one ts-consecutive.  Anything else
+        (a gap past the journal horizon, or re-applying an already
+        applied delta) raises :class:`DeltaConflictError` instead of
+        silently corrupting the index.  Updates ``_files``, ``_dirs``
+        and the ``files_by_chunk`` grouping in place — no rebuild.
+        Returns the number of ops applied.
+        """
+        applied = 0
+        for entry in entries:
+            if entry.ts != self._update_ts + 1:
+                raise DeltaConflictError(
+                    self.dataset, self._update_ts, entry.ts
+                )
+            for op in entry.ops:
+                self._apply_op(op)
+                applied += 1
+            self._update_ts = entry.ts
+        return applied
+
+    def _apply_op(self, op: "mj.JournalOp") -> None:
+        if op.kind == mj.OP_APPEND:
+            rec = FileRecord.decode(op.payload)
+            path = normalize(rec.path)
+            old = self._files.get(path)
+            self._files[path] = rec
+            if old is None:
+                self._link(path)
+            if self._by_chunk is not None:
+                if old is not None:
+                    group = self._by_chunk.get(old.chunk_id)
+                    if group is not None and path in group:
+                        group.remove(path)
+                bisect.insort(
+                    self._by_chunk.setdefault(rec.chunk_id, []),
+                    path,
+                    key=lambda p: self._files[p].offset,
+                )
+        elif op.kind == mj.OP_DELETE:
+            path = normalize(op.path)
+            rec = self._files.pop(path, None)
+            if rec is None:
+                raise DeltaConflictError(
+                    self.dataset, self._update_ts, self._update_ts + 1,
+                    detail=f"delete of unknown path {path!r}",
+                )
+            self._unlink(path)
+            if self._by_chunk is not None:
+                group = self._by_chunk.get(rec.chunk_id)
+                if group is not None and path in group:
+                    group.remove(path)
+        elif op.kind == mj.OP_CHUNK_ADD:
+            cid = ChunkId(op.payload)
+            i = bisect.bisect_left(self._chunk_ids, cid)
+            if i == len(self._chunk_ids) or self._chunk_ids[i] != cid:
+                self._chunk_ids.insert(i, cid)
+        elif op.kind == mj.OP_CHUNK_DROP:
+            cid = ChunkId(op.payload)
+            i = bisect.bisect_left(self._chunk_ids, cid)
+            if i < len(self._chunk_ids) and self._chunk_ids[i] == cid:
+                del self._chunk_ids[i]
+            if self._by_chunk is not None:
+                self._by_chunk.pop(cid, None)
+        else:  # pragma: no cover - JournalOp validates kinds
+            raise DeltaConflictError(
+                self.dataset, self._update_ts, self._update_ts + 1,
+                detail=f"unknown journal op kind {op.kind!r}",
+            )
+
+    def _unlink(self, path: str) -> None:
+        """Remove ``path`` from its parent, pruning emptied ancestors —
+        mirrors what a fresh rebuild would (not) contain."""
+        child, parent = path, dirname(path)
+        while True:
+            children = self._dirs.get(parent)
+            if children is not None:
+                children.discard(child)
+                if children or parent == "/":
+                    break
+                del self._dirs[parent]
+            if parent == "/":
+                break
+            child, parent = parent, dirname(parent)
 
 
 def build_snapshot(

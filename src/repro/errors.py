@@ -115,6 +115,30 @@ class StaleSnapshotError(DieselError):
         self.current_ts = current_ts
 
 
+class DeltaConflictError(DieselError):
+    """Raised when a metadata delta cannot be applied to an index.
+
+    Covers re-applying an already applied delta (idempotence guard), a
+    version gap past the journal horizon, and journal ops that disagree
+    with the index state (e.g. deleting an unknown path).  The right
+    recovery is always a full snapshot reload.
+    """
+
+    def __init__(
+        self, dataset: str, index_ts: int, entry_ts: int, detail: str = ""
+    ) -> None:
+        msg = (
+            f"delta for dataset {dataset!r} does not apply: index at "
+            f"ts {index_ts}, entry at ts {entry_ts}"
+        )
+        if detail:
+            msg += f" ({detail})"
+        super().__init__(msg)
+        self.dataset = dataset
+        self.index_ts = index_ts
+        self.entry_ts = entry_ts
+
+
 class ChunkFormatError(DieselError):
     """Raised when chunk bytes fail structural validation."""
 

@@ -60,12 +60,25 @@ class KVTable:
             self._sorted_keys = sorted(self._data)
         return self._sorted_keys
 
-    def pscan(self, prefix: str, limit: Optional[int] = None) -> list[tuple[str, bytes]]:
-        """Scan keys with ``prefix`` in sorted order (the paper's *pscan*)."""
+    def pscan(
+        self,
+        prefix: str,
+        limit: Optional[int] = None,
+        cursor: Optional[str] = None,
+    ) -> list[tuple[str, bytes]]:
+        """Scan keys with ``prefix`` in sorted order (the paper's *pscan*).
+
+        ``cursor`` resumes a paginated scan: only keys strictly greater
+        than it are returned, so passing the last key of one page yields
+        the next page.  A bounded scan therefore never materializes more
+        than ``limit`` pairs however large the prefix range is.
+        """
         import bisect
 
         index = self._index()
         lo = bisect.bisect_left(index, prefix)
+        if cursor is not None:
+            lo = max(lo, bisect.bisect_right(index, cursor))
         out: list[tuple[str, bytes]] = []
         for i in range(lo, len(index)):
             key = index[i]
@@ -75,6 +88,27 @@ class KVTable:
             if limit is not None and len(out) >= limit:
                 break
         return out
+
+    def pcount(self, prefix: str) -> int:
+        """Number of keys under ``prefix``, without materializing them."""
+        import bisect
+
+        index = self._index()
+        lo = bisect.bisect_left(index, prefix)
+        if not prefix:
+            return len(index) - lo
+        # Upper bound: the smallest string greater than every key that
+        # starts with the prefix (bump the last character).
+        last = prefix[-1]
+        if ord(last) < 0x10FFFF:
+            hi = bisect.bisect_left(index, prefix[:-1] + chr(ord(last) + 1))
+            return hi - lo
+        count = 0
+        for i in range(lo, len(index)):  # pragma: no cover - exotic prefix
+            if not index[i].startswith(prefix):
+                break
+            count += 1
+        return count
 
     def keys(self) -> list[str]:
         return list(self._index())
@@ -140,6 +174,8 @@ class KVInstance:
             return None
         if method == "pscan":
             return self.table.pscan(args[0], *args[1:])
+        if method == "pcount":
+            return self.table.pcount(args[0])
         if method == "size":
             return len(self.table)
         raise ValueError(f"unknown KV method: {method!r}")

@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import heapq
 import random
-from typing import Any, Dict, Generator, Optional, Sequence
+from typing import Any, Dict, Generator, Optional, Sequence, Tuple
 
 from repro.errors import (
     CircuitOpenError,
@@ -17,6 +18,28 @@ from repro.util.hashing import stable_hash
 
 #: Redis cluster uses 16384 hash slots; we keep the same constant.
 NUM_SLOTS = 16384
+
+
+def _merge_page(
+    parts: Sequence[Sequence[tuple[str, bytes]]], limit: Optional[int]
+) -> Tuple[list[tuple[str, bytes]], Optional[str]]:
+    """Streaming k-way merge of per-shard sorted pages.
+
+    Merges on the full (key, value) pair so the page order never depends
+    on which shards contributed, truncates to ``limit``, and derives the
+    resume cursor: the last key of a full page (a short page means every
+    shard was drained, so the scan is complete).
+    """
+    merged = heapq.merge(*parts)
+    if limit is None:
+        return list(merged), None
+    page: list[tuple[str, bytes]] = []
+    for pair in merged:
+        page.append(pair)
+        if len(page) >= limit:
+            break
+    next_cursor = page[-1][0] if len(page) >= limit else None
+    return page, next_cursor
 
 
 class ShardedKV:
@@ -165,8 +188,102 @@ class ShardedKV:
                     continue
                 raise
             merged.extend(part)
-        merged.sort(key=lambda kv: kv[0])
+        # Sort the full (key, value) pair, not the key alone: a stable
+        # key-only sort leaves equal keys in shard-iteration order, so a
+        # degraded skip_dead scan would interleave differently depending
+        # on *which* shard died.  The pair sort is shard-order-free.
+        merged.sort()
         return merged
+
+    def pscan_page(
+        self,
+        client: Node,
+        prefix: str,
+        cursor: Optional[str] = None,
+        limit: Optional[int] = None,
+        skip_dead: bool = False,
+    ) -> Generator[Event, Any, Tuple[list[tuple[str, bytes]], Optional[str]]]:
+        """One bounded page of a cross-shard prefix scan.
+
+        Each live shard returns at most ``limit`` pairs past ``cursor``;
+        the per-shard pages (already sorted) are k-way merged and
+        truncated to ``limit``, so neither the shards nor the caller ever
+        materialize the full prefix range.  Returns ``(pairs,
+        next_cursor)``; pass ``next_cursor`` back to fetch the following
+        page (``None`` = the scan is complete).  Liveness and
+        ``skip_dead`` semantics match :meth:`pscan`.
+        """
+        down = [i.name for i in self._instances if not i.up]
+        if down and not skip_dead:
+            raise ShardUnavailableError(
+                f"shards down: {', '.join(sorted(down))}"
+            )
+        parts: list[list[tuple[str, bytes]]] = []
+        for inst in self._instances:
+            if not inst.up and skip_dead:
+                continue
+            try:
+                part = yield from self._call_inst(
+                    client, inst, "pscan", prefix, limit, cursor
+                )
+            except (NodeDownError, ShardUnavailableError, CircuitOpenError):
+                if skip_dead:
+                    continue
+                raise
+            parts.append(part)
+        return _merge_page(parts, limit)
+
+    def local_pscan_page(
+        self,
+        prefix: str,
+        cursor: Optional[str] = None,
+        limit: Optional[int] = None,
+        skip_dead: bool = False,
+    ) -> Tuple[list[tuple[str, bytes]], Optional[str]]:
+        """Zero-cost :meth:`pscan_page` for co-located server logic."""
+        down = [i.name for i in self._instances if not i.up]
+        if down and not skip_dead:
+            raise ShardUnavailableError(
+                f"shards down: {', '.join(sorted(down))}"
+            )
+        parts = [
+            inst.table.pscan(prefix, limit, cursor)
+            for inst in self._instances
+            if inst.up
+        ]
+        return _merge_page(parts, limit)
+
+    def local_pscan_iter(
+        self, prefix: str, page_size: int, skip_dead: bool = False
+    ):
+        """Iterate a prefix range page by page (zero-cost, bounded RAM).
+
+        Yields lists of at most ``page_size`` pairs in global key order;
+        the seam behind ``ls -lR`` and snapshot builds, which must not
+        materialize an unbounded result set.
+        """
+        if page_size < 1:
+            raise ValueError("page_size must be >= 1")
+        cursor: Optional[str] = None
+        while True:
+            page, cursor = self.local_pscan_page(
+                prefix, cursor=cursor, limit=page_size, skip_dead=skip_dead
+            )
+            if page:
+                yield page
+            if cursor is None:
+                return
+
+    def local_pcount(self, prefix: str, skip_dead: bool = False) -> int:
+        """Count keys under ``prefix`` without materializing any pair."""
+        down = [i.name for i in self._instances if not i.up]
+        if down and not skip_dead:
+            raise ShardUnavailableError(
+                f"shards down: {', '.join(sorted(down))}"
+            )
+        return sum(
+            inst.table.pcount(prefix) for inst in self._instances if inst.up
+        )
 
     # -- direct (zero-cost) access for co-located server logic ------------
     # These bypass the RPC *cost* (the DIESEL server's service rate
@@ -200,7 +317,7 @@ class ShardedKV:
             if not inst.up:
                 continue
             merged.extend(inst.table.pscan(prefix))
-        merged.sort(key=lambda kv: kv[0])
+        merged.sort()  # full-pair sort: order must not depend on shard fate
         return merged
 
     def total_keys(self) -> int:

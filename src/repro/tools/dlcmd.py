@@ -25,6 +25,7 @@ Subcommands::
     dlcmd scale                                   engine throughput probe
     dlcmd tenants                                 shared-tier tenant usage
     dlcmd tiers                                   RAM/NVMe tier residency probe
+    dlcmd meta                                    metadata-plane probe
 
 Every data-mutating command rewrites the workspace file.
 
@@ -195,6 +196,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "-z", "--compress", action="store_true",
         help="compress chunks written to the disk tier (deterministic "
              "per-chunk ratios, see docs/CACHE_TIERS.md)",
+    )
+
+    sub.add_parser(
+        "meta",
+        help="metadata-plane probe: per-dataset snapshot version and "
+             "journal depth/span, plus registry shard occupancy "
+             "(see docs/METADATA.md)",
     )
 
     p = sub.add_parser(
@@ -791,6 +799,40 @@ def cmd_verify(ws: DieselWorkspace, dataset: str, args) -> str:
     return f"metadata consistent: {len(expected)} files verified, 0 problems"
 
 
+def cmd_meta(ws: DieselWorkspace, dataset: str, args) -> str:
+    """Metadata-plane probe: journal, snapshot versions, registry.
+
+    Reads the same counters the ``metaplane`` experiment asserts on —
+    per-dataset snapshot version (``update_ts``), retained journal
+    depth and version span (what a delta ``refresh_meta`` can span
+    before falling back to a full reload), and how the dataset
+    registry's names spread across its hash shards.
+    """
+    server = ws.server
+    reg = server.registry
+    occ = reg.occupancy()
+    occupied = sum(1 for n in occ if n)
+    lines = [
+        f"registry:         {reg.count()} dataset(s) on "
+        f"{occupied}/{reg.n_shards} shards "
+        f"(max {max(occ, default=0)} per shard)",
+        f"journal horizon:  {server.config.meta_journal_horizon} "
+        f"version(s) retained per dataset",
+    ]
+    names = server.datasets()
+    if not names:
+        lines.append("(no datasets)")
+        return "\n".join(lines)
+    lines.append(f"{'dataset':<16} {'version':>8} {'depth':>6}  span")
+    for name in names:
+        version = server.dataset_info(name).update_ts
+        depth = server.journal.depth(name)
+        span = server.journal.span(name)
+        span_s = f"v{span[0]}..v{span[1]}" if span else "-"
+        lines.append(f"{name:<16} {version:>8} {depth:>6}  {span_s}")
+    return "\n".join(lines)
+
+
 _COMMANDS = {
     "put": (cmd_put, True),
     "get": (cmd_get, False),
@@ -808,6 +850,7 @@ _COMMANDS = {
     "scale": (cmd_scale, False),
     "tenants": (cmd_tenants, False),
     "tiers": (cmd_tiers, False),
+    "meta": (cmd_meta, False),
     "chaos": (cmd_chaos, False),
 }
 

@@ -124,6 +124,23 @@ class TestExperimentSmoke:
         assert kv_row["failed_reads"] == 0
         assert kv_row["chunks_scanned"] > 0
 
+    def test_metaplane(self):
+        r = E.fig_metaplane(
+            n_files=400, registry_sizes=(200, 5000), page_limit=100,
+            probe_stats=10, online_files=32, online_late=8,
+        )
+        delta = r.one(event="delta_reload")
+        assert delta["delta_bytes_ratio"] <= 0.05
+        assert delta["delta_refresh_s"] < delta["full_load_s"]
+        assert r.one(event="pagination")["bit_identical"] is True
+        grown = r.one(event="registry_scale", datasets=5000)
+        assert grown["stat_ratio"] <= 1.2
+        assert grown["load_meta_ratio"] <= 1.2
+        online = r.one(event="online_ingest")
+        assert online["lost_reads"] == 0
+        assert online["duplicate_reads"] == 0
+        assert online["committed_order_preserved"] is True
+
     def test_latency(self):
         r = E.latency_breakdown(n_files=128, batch=16)
         row = r.rows[0]

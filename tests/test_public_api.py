@@ -72,13 +72,14 @@ def test_experiment_registry_covers_every_artifact():
         "fig11a", "fig11b", "fig12", "fig13", "fig14", "fig15",
         "prefetch", "ingest", "fanout", "latency", "faults",
         "locality", "scale", "sharing", "capacity", "elastic",
+        "metaplane",
     }
 
 
 def test_version():
     import repro
 
-    assert repro.__version__ == "1.9.0"
+    assert repro.__version__ == "1.10.0"
 
 
 def test_docstrings_on_public_modules():

@@ -237,6 +237,27 @@ class TestDlcmd:
         assert run(tmp_path, "tiers", "-m", "0") == 1
         assert "--ram must be >= 1" in capsys.readouterr().err
 
+    def test_meta_probe_reports_journal_and_registry(self, tmp_path,
+                                                     local_tree, capsys):
+        run(tmp_path, "put", str(local_tree), "/t")
+        run(tmp_path, "put", str(local_tree / "a.bin"), "/a", dataset="other")
+        capsys.readouterr()
+        assert run(tmp_path, "meta") == 0
+        out = capsys.readouterr().out
+        assert "registry:         2 dataset(s)" in out
+        assert "journal horizon:" in out
+        # One row per dataset with version, depth and retained span.
+        assert "ds" in out and "other" in out
+        for line in out.splitlines():
+            if line.startswith("ds "):
+                assert "v" in line.split()[-1]  # span column populated
+
+    def test_meta_probe_on_empty_workspace(self, tmp_path, capsys):
+        assert run(tmp_path, "meta") == 0
+        out = capsys.readouterr().out
+        assert "registry:         0 dataset(s)" in out
+        assert "(no datasets)" in out
+
     def test_chaos_probe_prints_the_operator_view(self, tmp_path, local_tree,
                                                   capsys):
         run(tmp_path, "put", str(local_tree), "/t")
